@@ -1,0 +1,132 @@
+package astrx_test
+
+import (
+	"testing"
+
+	root "astrx"
+	"astrx/internal/bench"
+)
+
+const facadeDeck = `
+.jig main
+vin in 0 0 ac 1
+r1 in out 1k
+r2 out 0 R2
+cl out 0 1p
+.pz tf v(out) vin
+.ends
+
+.bias
+vb in 0 1
+r1 in out 1k
+r2 out 0 R2
+.ends
+
+.var R2 min=100 max=100k grid
+.obj gain 'dc_gain(tf)' good=0.99 bad=0.1
+`
+
+func TestFacadeCompile(t *testing.T) {
+	comp, err := root.Compile(facadeDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Stats().UserVars != 1 {
+		t.Errorf("stats = %+v", comp.Stats())
+	}
+	if _, err := root.Compile("garbage ("); err == nil {
+		t.Error("bad deck must error")
+	}
+}
+
+func TestFacadeSynthesizeAndVerify(t *testing.T) {
+	res, err := root.Synthesize(facadeDeck, root.SynthConfig{Seed: 2, MaxMoves: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := res.Variables()
+	if vars["R2"] < 5000 {
+		t.Errorf("synthesized R2 = %g, want large (gain→0.99)", vars["R2"])
+	}
+	specs := res.Specs()
+	if specs["gain"] < 0.85 {
+		t.Errorf("gain = %g", specs["gain"])
+	}
+	rep, err := root.Verify(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := rep.Spec("gain"); row == nil || row.RelErr > 1e-6 {
+		t.Errorf("verification row = %+v", row)
+	}
+	if _, err := root.Verify(nil); err == nil {
+		t.Error("nil result must error")
+	}
+	// Multi-run path.
+	res2, err := root.Synthesize(facadeDeck, root.SynthConfig{Seed: 3, MaxMoves: 5000, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Run == nil {
+		t.Error("multi-run returned nil run")
+	}
+}
+
+func TestBenchTableFormatters(t *testing.T) {
+	rows, err := bench.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := bench.FormatTable1(rows)
+	for _, c := range bench.Suite {
+		if !containsStr(out, string(c)) {
+			t.Errorf("Table 1 missing %s", c)
+		}
+	}
+	// Fig. 3 merge.
+	pts := bench.Fig3(bench.SynthOptions{}, 20, 3, 50, 0, 0.01, 0, 15)
+	if len(pts) != len(bench.Fig3Literature)+2 {
+		t.Errorf("fig3 points = %d", len(pts))
+	}
+	txt := bench.FormatFig3(pts)
+	if !containsStr(txt, "ASTRX/OBLX (this repo)") || !containsStr(txt, "OASYS") {
+		t.Error("fig3 rendering incomplete")
+	}
+}
+
+func TestAWEScalingExperiment(t *testing.T) {
+	pts, err := bench.AWEScaling([]int{5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.MaxRelErr > 0.2 {
+			t.Errorf("n=%d: AWE error %g too large", p.Nodes, p.MaxRelErr)
+		}
+	}
+	// Timing asserted only at the largest size: small-circuit wall times
+	// are scheduler noise when the machine is loaded.
+	if last := pts[len(pts)-1]; last.Speedup < 2 {
+		t.Errorf("n=%d: AWE speedup %gx, want ≥ 2x", last.Nodes, last.Speedup)
+	}
+	txt := bench.FormatAWEScaling(pts)
+	if !containsStr(txt, "speedup") {
+		t.Error("formatting broken")
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(h, n string) int {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return i
+		}
+	}
+	return -1
+}

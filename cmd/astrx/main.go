@@ -1,0 +1,88 @@
+// Command astrx compiles an ASTRX problem description and prints the
+// analysis statistics (the per-circuit content of the paper's Table 1)
+// without running any synthesis.
+//
+// Usage:
+//
+//	astrx <deck-file>
+//	astrx -bench "Simple OTA"     # compile a builtin benchmark
+//	astrx -list                   # list builtin benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"astrx/internal/astrx"
+	"astrx/internal/bench"
+	"astrx/internal/netlist"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "compile a builtin benchmark instead of a file")
+	list := flag.Bool("list", false, "list builtin benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, c := range bench.Suite {
+			fmt.Println(c)
+		}
+		return
+	}
+
+	var src, title string
+	switch {
+	case *benchName != "":
+		found := false
+		for _, c := range bench.Suite {
+			if string(c) == *benchName {
+				src = bench.DeckSource(c)
+				title = *benchName
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "astrx: unknown benchmark %q (try -list)\n", *benchName)
+			os.Exit(1)
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astrx:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+		title = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: astrx [-bench name | deck-file]")
+		os.Exit(2)
+	}
+
+	deck, err := netlist.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astrx:", err)
+		os.Exit(1)
+	}
+	comp, err := astrx.Compile(deck, astrx.CostOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astrx:", err)
+		os.Exit(1)
+	}
+	s := comp.Stats()
+	fmt.Printf("ASTRX analysis of %s\n", title)
+	fmt.Printf("  input lines:   netlist/models %d, synthesis-specific %d\n", s.NetlistLines, s.SynthLines)
+	fmt.Printf("  variables:     user-supplied %d, node voltages added %d\n", s.UserVars, s.NodeVoltVars)
+	fmt.Printf("  cost function: %d terms (~%d lines of generated C in the original tool)\n", s.CostTerms, s.EstCLines)
+	fmt.Printf("  bias circuit:  %d nodes, %d elements\n", s.BiasNodes, s.BiasElements)
+	for i, j := range s.JigCircuits {
+		fmt.Printf("  AWE circuit %d: %d nodes, %d elements\n", i+1, j.Nodes, j.Elements)
+	}
+	for _, v := range comp.Vars()[:comp.NUser] {
+		kind := "log-grid"
+		if v.Continuous {
+			kind = "continuous"
+		}
+		fmt.Printf("  var %-10s [%.3g, %.3g] %s\n", v.Name, v.Min, v.Max, kind)
+	}
+}

@@ -1,0 +1,107 @@
+// Command oblx synthesizes a circuit from an ASTRX deck: it compiles the
+// problem, anneals (optionally several parallel seeded runs, keeping the
+// best — the paper's "5-10 annealing runs performed overnight"), then
+// verifies the winner against the reference simulator and prints the
+// spec-by-spec "OBLX / Simulation" comparison.
+//
+// Usage:
+//
+//	oblx [-moves N] [-runs K] [-seed S] <deck-file>
+//	oblx -bench "Simple OTA" -moves 120000 -runs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"astrx/internal/bench"
+	"astrx/internal/netlist"
+	"astrx/internal/oblx"
+	"astrx/internal/verify"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "synthesize a builtin benchmark")
+	moves := flag.Int("moves", 120_000, "annealing move budget per run")
+	runs := flag.Int("runs", 1, "independent seeded runs (best kept)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	var src, title string
+	switch {
+	case *benchName != "":
+		ok := false
+		for _, c := range bench.Suite {
+			if string(c) == *benchName {
+				src, title, ok = bench.DeckSource(c), *benchName, true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oblx: unknown benchmark %q\n", *benchName)
+			os.Exit(1)
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oblx:", err)
+			os.Exit(1)
+		}
+		src, title = string(data), flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: oblx [-bench name | deck-file] [-moves N] [-runs K] [-seed S]")
+		os.Exit(2)
+	}
+
+	deck, err := netlist.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oblx:", err)
+		os.Exit(1)
+	}
+	opt := oblx.Options{Seed: *seed, MaxMoves: *moves}
+	var best *oblx.Result
+	if *runs <= 1 {
+		best, err = oblx.Run(deck, opt)
+	} else {
+		best, _, err = oblx.RunBest(deck, *runs, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oblx:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("OBLX synthesis of %s (seed %d, %d moves", title, best.Seed, best.Moves)
+	if best.Froze {
+		fmt.Printf(", froze early")
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("  cost: obj %.4g, perf %.4g, dev %.4g, dc %.4g (total %.4g)\n",
+		best.Cost.Objective, best.Cost.Perf, best.Cost.Dev, best.Cost.DC, best.Cost.Total)
+	fmt.Printf("  time/ckt eval: %v; CPU/run: %v (%d evaluations)\n",
+		best.TimePerEval().Round(time.Microsecond), best.Duration.Round(time.Millisecond), best.EvalCount)
+	fmt.Println("  design variables:")
+	for i := 0; i < best.Compiled.NUser; i++ {
+		fmt.Printf("    %-10s = %.5g\n", best.Compiled.Vars()[i].Name, best.X[i])
+	}
+
+	rep, err := verify.Design(best.Compiled, best.X, best.State.SpecVals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oblx: verification:", err)
+		os.Exit(1)
+	}
+	fmt.Println("  specification           OBLX        / Simulation   (relerr)")
+	for _, row := range rep.Specs {
+		met := "met"
+		if !row.Met {
+			met = "NOT MET"
+			if row.Objective {
+				met = "objective"
+			}
+		}
+		fmt.Printf("    %-10s %14.6g / %-14.6g (%.2g)  %s\n",
+			row.Name, row.Predicted, row.Simulated, row.RelErr, met)
+	}
+	fmt.Printf("  reference bias: %d Newton iterations, max |KCL| %.3g A\n",
+		rep.BiasIterations, rep.MaxKCL)
+}

@@ -1,0 +1,25 @@
+// Package astrx is a from-scratch Go reproduction of ASTRX/OBLX
+// (Ochotta, Rutenbar, Carley, DAC 1994): equation-free synthesis of
+// high-performance analog circuits.
+//
+// The root package is a thin façade over the full system:
+//
+//   - internal/netlist — the ASTRX problem-description language
+//   - internal/astrx   — the compiler: deck → cost function C(x) with
+//     the relaxed-dc formulation
+//   - internal/oblx    — the solver: simulated annealing (Lam schedule,
+//     Hustin move selection, Newton-Raphson moves)
+//   - internal/awe     — Asymptotic Waveform Evaluation
+//   - internal/devices — encapsulated device evaluators (MOS L1/L3,
+//     BSIM-style, Gummel-Poon)
+//   - internal/verify  — reference simulation (Newton bias + AC sweeps)
+//   - internal/bench   — the paper's benchmark suite and every table
+//     and figure of its evaluation section
+//
+// Quick start:
+//
+//	result, err := astrx.Synthesize(deckSource, astrx.SynthConfig{})
+//	report, err := astrx.Verify(result)
+//
+// See README.md, DESIGN.md, and EXPERIMENTS.md.
+package astrx

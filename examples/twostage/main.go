@@ -1,0 +1,59 @@
+// twostage synthesizes the Miller-compensated two-stage op-amp from the
+// benchmark suite and prints the Table-2-style result, including the
+// OBLX-vs-simulation accuracy comparison that is the paper's central
+// claim.
+//
+// Run with: go run ./examples/twostage   (takes a minute or two)
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"astrx/internal/bench"
+)
+
+func main() {
+	fmt.Println("synthesizing the two-stage op-amp (two parallel runs, best kept)…")
+	res, err := bench.Synthesize(bench.TwoStage, bench.SynthOptions{
+		Seed: 11, MaxMoves: 80_000, Runs: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nCPU %v, %v per circuit evaluation, froze=%v\n",
+		res.Run.Duration.Round(time.Millisecond),
+		res.Run.TimePerEval().Round(time.Microsecond), res.Run.Froze)
+
+	fmt.Println("\ndevice sizes:")
+	for i := 0; i < res.Run.Compiled.NUser; i++ {
+		fmt.Printf("  %-4s = %.4g\n", res.Run.Compiled.Vars()[i].Name, res.Run.X[i])
+	}
+
+	fmt.Println("\nspec        target        OBLX / Simulation")
+	deck := res.Run.Compiled.Deck
+	for _, s := range deck.Specs {
+		row := res.Report.Spec(s.Name)
+		if row == nil {
+			continue
+		}
+		status := "met"
+		if !row.Met {
+			status = "NOT met"
+		}
+		if s.Objective {
+			status = "objective"
+		}
+		fmt.Printf("  %-6s %10.4g  %12.5g / %-12.5g %s\n",
+			s.Name, s.Good, row.Predicted, row.Simulated, status)
+	}
+	fmt.Printf("\nworst prediction-vs-simulation error: %.3g%%\n", res.Report.WorstRelErr*100)
+
+	// How the annealer spent its moves (Hustin move-class statistics).
+	fmt.Println("\nmove-class statistics:")
+	for _, ms := range res.Run.MoveStats {
+		fmt.Printf("  %-12s proposed %7d accepted %7d\n", ms.Name, ms.Proposed, ms.Accepted)
+	}
+}

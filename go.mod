@@ -1,0 +1,3 @@
+module astrx
+
+go 1.22

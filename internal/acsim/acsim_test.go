@@ -1,0 +1,156 @@
+package acsim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"astrx/internal/ckttest"
+	"astrx/internal/expr"
+	"astrx/internal/mna"
+)
+
+func sysFor(t *testing.T, n int, r, c float64) *mna.System {
+	t.Helper()
+	nl := ckttest.RCLadder(n, r, c)
+	sys, err := mna.Build(nl, expr.MapEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRCTransferExact(t *testing.T) {
+	sys := sysFor(t, 1, 1e3, 1e-9)
+	an := NewAnalyzer(sys)
+	for _, w := range []float64{1e3, 1e6, 1e9} {
+		h, err := an.TransferAt("vin", "n1", "", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / complex(1, w*1e-6)
+		if cmplx.Abs(h-want) > 1e-12 {
+			t.Errorf("ω=%g: H = %v, want %v", w, h, want)
+		}
+	}
+}
+
+func TestLogSweep(t *testing.T) {
+	sys := sysFor(t, 1, 1e3, 1e-9)
+	an := NewAnalyzer(sys)
+	sw, err := an.LogSweep("vin", "n1", "", 1e3, 1e9, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 13 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	if math.Abs(sw.Points[0].Omega-1e3) > 1e-6 || math.Abs(sw.Points[12].Omega-1e9)/1e9 > 1e-9 {
+		t.Errorf("sweep endpoints wrong: %g .. %g", sw.Points[0].Omega, sw.Points[12].Omega)
+	}
+	// Magnitude must be monotonically nonincreasing for an RC lowpass.
+	prev := math.Inf(1)
+	for _, p := range sw.Points {
+		m := cmplx.Abs(p.H)
+		if m > prev+1e-12 {
+			t.Errorf("magnitude not monotone at ω=%g", p.Omega)
+		}
+		prev = m
+	}
+	// Bad parameters.
+	if _, err := an.LogSweep("vin", "n1", "", 0, 1e9, 10); err == nil {
+		t.Error("wLo=0 must error")
+	}
+	if _, err := an.LogSweep("vin", "n1", "", 1e3, 1e2, 10); err == nil {
+		t.Error("wHi<wLo must error")
+	}
+	if _, err := an.LogSweep("vin", "n1", "", 1e3, 1e9, 1); err == nil {
+		t.Error("n<2 must error")
+	}
+}
+
+func TestUGFSinglePoleAmp(t *testing.T) {
+	// gm=1m into 100k∥1p: A0=100, pole=1e7 → UGF = 1e7·sqrt(100²-1)
+	g1 := ckttest.E("g1", []string{"0", "out", "in", "0"}, "1m")
+	nl := ckttest.Netlist(
+		ckttest.V("vin", "in", "0", "0", 1),
+		g1,
+		ckttest.E("r1", []string{"out", "0"}, "100k"),
+		ckttest.E("c1", []string{"out", "0"}, "1p"),
+	)
+	sys, err := mna.Build(nl, expr.MapEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer(sys)
+	wu, err := an.UGF("vin", "out", "", 1e3, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e7 * math.Sqrt(100*100-1)
+	if math.Abs(wu-want)/want > 1e-6 {
+		t.Errorf("UGF = %g, want %g", wu, want)
+	}
+	pm, err := an.PhaseMarginDeg("vin", "out", "", 1e3, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPM := 180 - math.Atan2(wu, 1e7)*180/math.Pi
+	if math.Abs(pm-wantPM) > 0.2 {
+		t.Errorf("PM = %v, want %v", pm, wantPM)
+	}
+}
+
+func TestUGFNoCrossing(t *testing.T) {
+	sys := sysFor(t, 1, 1e3, 1e-9) // unity DC gain lowpass
+	an := NewAnalyzer(sys)
+	wu, err := an.UGF("vin", "n1", "", 1e3, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wu != 0 {
+		t.Errorf("UGF = %g, want 0", wu)
+	}
+	pm, err := an.PhaseMarginDeg("vin", "n1", "", 1e3, 1e12)
+	if err != nil || pm != 0 {
+		t.Errorf("PM = %v, %v; want 0, nil", pm, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	sys := sysFor(t, 1, 1e3, 1e-9)
+	an := NewAnalyzer(sys)
+	if _, err := an.TransferAt("nope", "n1", "", 1e3); err == nil {
+		t.Error("unknown source must error")
+	}
+	if _, err := an.TransferAt("vin", "nope", "", 1e3); err == nil {
+		t.Error("unknown output must error")
+	}
+	if _, err := an.TransferAt("vin", "n1", "nope", 1e3); err == nil {
+		t.Error("unknown neg output must error")
+	}
+}
+
+func TestDifferentialTransfer(t *testing.T) {
+	e1 := ckttest.E("e1", []string{"mid", "0", "in", "0"}, "-1")
+	nl := ckttest.Netlist(
+		ckttest.V("vin", "in", "0", "0", 1),
+		e1,
+		ckttest.E("r1", []string{"in", "op"}, "1k"),
+		ckttest.E("r2", []string{"op", "0"}, "1k"),
+		ckttest.E("r3", []string{"mid", "on"}, "1k"),
+		ckttest.E("r4", []string{"on", "0"}, "1k"),
+	)
+	sys, err := mna.Build(nl, expr.MapEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalyzer(sys)
+	h, err := an.TransferAt("vin", "op", "on", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h-1) > 1e-12 {
+		t.Errorf("differential H = %v, want 1", h)
+	}
+}

@@ -1,0 +1,484 @@
+// Package anneal is the problem-independent simulated-annealing engine
+// underneath OBLX. It implements the four components §V-A of the paper
+// calls out:
+//
+//   - Representation: a mixed vector of continuous values and
+//     logarithmically gridded discrete values (VarSpec).
+//   - Move-set: pluggable move classes (Move interface) selected by the
+//     adaptive quality scheme of Hustin, so the annealer itself learns
+//     whether random, gradient-directed, or combined moves pay off at the
+//     current point of the cooling.
+//   - Cost function: any Problem implementation.
+//   - Control: the Lam-Delosme cooling schedule in the "modified Lam"
+//     form popularized by Swartz and Sechen (temperature chases a target
+//     acceptance-ratio trajectory), plus the paper's freezing criterion —
+//     stop when discrete variables stop changing and continuous ones move
+//     less than a relative tolerance.
+//
+// The engine is deterministic for a fixed seed: all randomness flows from
+// the *rand.Rand constructed in Run.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// VarSpec describes one optimization variable.
+type VarSpec struct {
+	Name string
+	Min  float64
+	Max  float64
+	// Continuous variables move in ℝ; discrete ones live on a log grid.
+	Continuous bool
+	// PointsPerDecade is the log-grid density for discrete variables
+	// (0 → 50). The paper: "because small changes in device sizes make
+	// proportionally less difference on larger devices, we typically use
+	// a logarithmically spaced grid."
+	PointsPerDecade int
+	// Init is the starting value (0 → geometric/arithmetic midpoint).
+	Init float64
+}
+
+// gridDensity returns the points-per-decade with default applied.
+func (v *VarSpec) gridDensity() float64 {
+	if v.PointsPerDecade <= 0 {
+		return 50
+	}
+	return float64(v.PointsPerDecade)
+}
+
+// Clamp limits x to the variable's range.
+func (v *VarSpec) Clamp(x float64) float64 {
+	if x < v.Min {
+		return v.Min
+	}
+	if x > v.Max {
+		return v.Max
+	}
+	return x
+}
+
+// Snap maps x onto the variable's representable set: clamped for
+// continuous variables, nearest log-grid point for discrete ones.
+func (v *VarSpec) Snap(x float64) float64 {
+	x = v.Clamp(x)
+	if v.Continuous {
+		return x
+	}
+	// Discrete: log grid between Min and Max. Guard non-positive ranges
+	// (grid variables are sizes/currents, positive by construction).
+	if v.Min <= 0 {
+		return x
+	}
+	n := math.Round(math.Log10(x/v.Min) * v.gridDensity())
+	return v.Clamp(v.Min * math.Pow(10, n/v.gridDensity()))
+}
+
+// StepGrid moves x by n grid steps (discrete variables only).
+func (v *VarSpec) StepGrid(x float64, n int) float64 {
+	if v.Continuous || v.Min <= 0 {
+		return v.Clamp(x)
+	}
+	k := math.Round(math.Log10(x/v.Min)*v.gridDensity()) + float64(n)
+	return v.Clamp(v.Min * math.Pow(10, k/v.gridDensity()))
+}
+
+// Start returns the initial value of the variable.
+func (v *VarSpec) Start() float64 {
+	if v.Init != 0 {
+		return v.Snap(v.Init)
+	}
+	if v.Continuous || v.Min <= 0 {
+		return (v.Min + v.Max) / 2
+	}
+	return v.Snap(math.Sqrt(v.Min * v.Max)) // geometric midpoint
+}
+
+// Problem is a scalar minimization problem over a mixed variable vector.
+type Problem interface {
+	Vars() []VarSpec
+	Cost(x []float64) float64
+}
+
+// Move is one move class in the annealer's palette. Propose mutates next
+// (a copy of cur) and reports whether a move could be generated.
+// Feedback delivers the acceptance result so classes can adapt their own
+// amplitudes.
+type Move interface {
+	Name() string
+	Propose(cur, next []float64, rng *rand.Rand) bool
+	Feedback(accepted bool, dCost float64)
+}
+
+// TracePoint is a periodic snapshot for experiment instrumentation
+// (Fig. 2 uses the cost terms recorded along the run).
+type TracePoint struct {
+	Move     int
+	Temp     float64
+	Cost     float64
+	BestCost float64
+	AccRate  float64
+	X        []float64 // copy of the current state
+}
+
+// Options tunes a Run. The zero value gives sensible defaults.
+type Options struct {
+	Seed     int64
+	MaxMoves int     // total move budget (0 → 200_000)
+	T0       float64 // initial temperature (0 → auto-calibrated)
+
+	// Freezing: stop early when, for FreezeStages consecutive stages
+	// (one stage = StageMoves moves), no accepted move changed a discrete
+	// variable and accepted continuous changes stayed below FreezeTol
+	// relative to the variable range.
+	StageMoves   int     // 0 → 1000
+	FreezeStages int     // 0 → 8
+	FreezeTol    float64 // 0 → 1e-4
+
+	// Trace, when set, receives a TracePoint every TraceEvery moves.
+	Trace      func(TracePoint)
+	TraceEvery int // 0 → 500
+
+	// BestResetAt, when positive, re-bases the best-so-far bookkeeping
+	// at that move: callers whose cost function is nonstationary early
+	// in the run (e.g. OBLX's adaptive constraint weights settle during
+	// the first quarter) use this so a stale early "best" cannot mask
+	// later genuine improvements.
+	BestResetAt int
+}
+
+func (o *Options) defaults() {
+	if o.MaxMoves == 0 {
+		o.MaxMoves = 200_000
+	}
+	if o.StageMoves == 0 {
+		o.StageMoves = 1000
+	}
+	if o.FreezeStages == 0 {
+		o.FreezeStages = 8
+	}
+	if o.FreezeTol == 0 {
+		o.FreezeTol = 1e-4
+	}
+	if o.TraceEvery == 0 {
+		o.TraceEvery = 500
+	}
+}
+
+// MoveStat reports per-class statistics after a run.
+type MoveStat struct {
+	Name     string
+	Proposed int
+	Accepted int
+	Quality  float64
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Best      []float64
+	BestCost  float64
+	FinalCost float64
+	Moves     int
+	Accepted  int
+	Froze     bool
+	FinalTemp float64
+	MoveStats []MoveStat
+}
+
+// Run minimizes p using the supplied move palette.
+func Run(p Problem, moves []Move, opt Options) (*Result, error) {
+	opt.defaults()
+	vars := p.Vars()
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("anneal: problem has no variables")
+	}
+	if len(moves) == 0 {
+		return nil, fmt.Errorf("anneal: no move classes supplied")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	cur := make([]float64, len(vars))
+	for i := range vars {
+		cur[i] = vars[i].Start()
+	}
+	curCost := p.Cost(cur)
+	best := append([]float64(nil), cur...)
+	bestCost := curCost
+
+	// --- Initial temperature: Aarts/White style calibration from the
+	// cost deltas of a short random walk.
+	temp := opt.T0
+	if temp <= 0 {
+		temp = calibrateT0(p, moves, cur, curCost, rng)
+	}
+	// Warming is bounded: cost cliffs (failed evaluations) must not run
+	// the temperature away.
+	tMax := temp * 1e3
+
+	// --- Hustin move selection state.
+	sel := newSelector(moves)
+
+	// --- Modified-Lam acceptance-target machinery.
+	accRate := 0.5
+	const lamDecay = 0.998
+
+	next := make([]float64, len(vars))
+	frozenStages := 0
+	stageDiscreteChanged := false
+	stageMaxContChange := 0.0
+	accepted := 0
+	mv := 0
+	froze := false
+
+	for ; mv < opt.MaxMoves; mv++ {
+		progress := float64(mv) / float64(opt.MaxMoves)
+		target := lamTarget(progress)
+
+		mi := sel.pick(rng)
+		copy(next, cur)
+		if !moves[mi].Propose(cur, next, rng) {
+			continue
+		}
+		// Snap proposed values onto the representable set.
+		changed := false
+		for i := range vars {
+			next[i] = vars[i].Snap(next[i])
+			if next[i] != cur[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			// A no-op proposal (e.g. a Newton move at an already
+			// dc-correct point, or a clamped step at a range boundary)
+			// must not pollute the acceptance-rate/temperature
+			// statistics — but the move class must still be charged for
+			// the wasted work, or Hustin keeps re-picking a class that
+			// can make no progress and the run spins.
+			sel.feedback(mi, false, 0)
+			moves[mi].Feedback(false, 0)
+			continue
+		}
+		nextCost := p.Cost(next)
+		d := nextCost - curCost
+		acc := d <= 0
+		if !acc && temp > 0 {
+			acc = rng.Float64() < math.Exp(-d/temp)
+		}
+		sel.feedback(mi, acc, d)
+		moves[mi].Feedback(acc, d)
+
+		if acc {
+			accepted++
+			// Track freezing signals.
+			for i := range vars {
+				if cur[i] == next[i] {
+					continue
+				}
+				if vars[i].Continuous {
+					rel := math.Abs(next[i]-cur[i]) / (vars[i].Max - vars[i].Min)
+					if rel > stageMaxContChange {
+						stageMaxContChange = rel
+					}
+				} else {
+					stageDiscreteChanged = true
+				}
+			}
+			cur, next = next, cur
+			curCost = nextCost
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best, cur)
+			}
+			accRate = lamDecay*accRate + (1 - lamDecay)
+		} else {
+			accRate = lamDecay * accRate
+		}
+
+		// Temperature chases the target acceptance ratio.
+		if accRate > target {
+			temp *= 0.999
+		} else if temp < tMax {
+			temp /= 0.999
+		}
+
+		// Re-base the best tracking once the cost function has settled.
+		if opt.BestResetAt > 0 && mv == opt.BestResetAt {
+			bestCost = curCost
+			copy(best, cur)
+		}
+
+		if opt.Trace != nil && mv%opt.TraceEvery == 0 {
+			opt.Trace(TracePoint{
+				Move: mv, Temp: temp, Cost: curCost, BestCost: bestCost,
+				AccRate: accRate, X: append([]float64(nil), cur...),
+			})
+		}
+
+		// Stage bookkeeping for the freezing criterion.
+		if (mv+1)%opt.StageMoves == 0 {
+			if !stageDiscreteChanged && stageMaxContChange < opt.FreezeTol {
+				frozenStages++
+			} else {
+				frozenStages = 0
+			}
+			stageDiscreteChanged = false
+			stageMaxContChange = 0
+			sel.stageReset()
+			if frozenStages >= opt.FreezeStages {
+				froze = true
+				mv++
+				break
+			}
+		}
+	}
+
+	res := &Result{
+		Best:      best,
+		BestCost:  bestCost,
+		FinalCost: curCost,
+		Moves:     mv,
+		Accepted:  accepted,
+		Froze:     froze,
+		FinalTemp: temp,
+		MoveStats: sel.stats(moves),
+	}
+	return res, nil
+}
+
+// lamTarget is the classic modified-Lam acceptance-ratio trajectory:
+// warm (0.44→ high) start collapsing to 0.44 over the first 15% of the
+// budget, flat 0.44 for the middle 50%, then exponential decay to ~0.
+func lamTarget(progress float64) float64 {
+	switch {
+	case progress < 0.15:
+		return 0.44 + 0.56*math.Pow(560, -progress/0.15)
+	case progress < 0.65:
+		return 0.44
+	default:
+		return 0.44 * math.Pow(440, -(progress-0.65)/0.35)
+	}
+}
+
+// calibrateT0 estimates a starting temperature giving ≈95% initial
+// acceptance, by sampling cost deltas of the move palette around the
+// start state.
+func calibrateT0(p Problem, moves []Move, start []float64, startCost float64, rng *rand.Rand) float64 {
+	vars := p.Vars()
+	cur := append([]float64(nil), start...)
+	curCost := startCost
+	next := make([]float64, len(cur))
+	var deltas []float64
+	for i := 0; i < 120; i++ {
+		m := moves[rng.Intn(len(moves))]
+		copy(next, cur)
+		if !m.Propose(cur, next, rng) {
+			continue
+		}
+		for j := range vars {
+			next[j] = vars[j].Snap(next[j])
+		}
+		c := p.Cost(next)
+		deltas = append(deltas, math.Abs(c-curCost))
+		// Random walk: accept everything during calibration.
+		cur, next = next, cur
+		curCost = c
+	}
+	if len(deltas) == 0 {
+		return 1
+	}
+	mean := 0.0
+	for _, d := range deltas {
+		mean += d
+	}
+	mean /= float64(len(deltas))
+	if mean == 0 {
+		return 1
+	}
+	// P(accept worst-average uphill) = exp(-mean/T0) = 0.95.
+	return mean / 0.0513 // -ln(0.95)
+}
+
+// ---------------------------------------------------------------------------
+// Hustin adaptive move selection.
+
+type selector struct {
+	quality  []float64
+	proposed []int
+	accepted []int
+	totProp  []int
+	totAcc   []int
+}
+
+func newSelector(moves []Move) *selector {
+	n := len(moves)
+	s := &selector{
+		quality:  make([]float64, n),
+		proposed: make([]int, n),
+		accepted: make([]int, n),
+		totProp:  make([]int, n),
+		totAcc:   make([]int, n),
+	}
+	for i := range s.quality {
+		s.quality[i] = 1
+	}
+	return s
+}
+
+// pick chooses a move class with probability proportional to its quality
+// (per Hustin: classes whose accepted moves recently produced the largest
+// cost movement get picked more).
+func (s *selector) pick(rng *rand.Rand) int {
+	tot := 0.0
+	for _, q := range s.quality {
+		tot += q
+	}
+	r := rng.Float64() * tot
+	for i, q := range s.quality {
+		r -= q
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(s.quality) - 1
+}
+
+func (s *selector) feedback(i int, accepted bool, dCost float64) {
+	s.proposed[i]++
+	s.totProp[i]++
+	if accepted {
+		s.accepted[i]++
+		s.totAcc[i]++
+		s.quality[i] += math.Abs(dCost)
+	}
+}
+
+// stageReset decays qualities at each temperature stage so the mix can
+// shift as the optimization character changes (random early, gradient
+// late), while a floor keeps every class alive.
+func (s *selector) stageReset() {
+	for i := range s.quality {
+		used := s.proposed[i]
+		if used > 0 {
+			s.quality[i] = 1 + s.quality[i]/float64(used)
+		} else {
+			s.quality[i] = 1 + s.quality[i]*0.5
+		}
+		s.proposed[i] = 0
+		s.accepted[i] = 0
+	}
+}
+
+func (s *selector) stats(moves []Move) []MoveStat {
+	out := make([]MoveStat, len(moves))
+	for i := range moves {
+		out[i] = MoveStat{
+			Name:     moves[i].Name(),
+			Proposed: s.totProp[i],
+			Accepted: s.totAcc[i],
+			Quality:  s.quality[i],
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomStep perturbs one randomly chosen variable. Continuous variables
+// move by a Gaussian step whose amplitude self-adapts toward a healthy
+// acceptance ratio (range-limiter style); discrete variables jump a
+// random number of log-grid steps drawn from the same adaptive amplitude.
+type RandomStep struct {
+	Label string
+	Vars  []VarSpec
+	// Amp is the per-variable relative amplitude (fraction of range or
+	// grid decades); it adapts in Feedback. Zero values initialize to
+	// Amp0.
+	Amp0 float64
+
+	amp     []float64
+	lastVar int
+}
+
+// NewRandomStep builds the standard single-variable perturbation class.
+func NewRandomStep(label string, vars []VarSpec, amp0 float64) *RandomStep {
+	if amp0 <= 0 {
+		amp0 = 0.25
+	}
+	amps := make([]float64, len(vars))
+	for i := range amps {
+		amps[i] = amp0
+	}
+	return &RandomStep{Label: label, Vars: vars, Amp0: amp0, amp: amps}
+}
+
+// Name identifies the class.
+func (m *RandomStep) Name() string { return m.Label }
+
+// Propose perturbs one variable of next.
+func (m *RandomStep) Propose(cur, next []float64, rng *rand.Rand) bool {
+	i := rng.Intn(len(m.Vars))
+	m.lastVar = i
+	v := &m.Vars[i]
+	if v.Continuous {
+		step := (v.Max - v.Min) * m.amp[i] * rng.NormFloat64()
+		next[i] = v.Clamp(cur[i] + step)
+	} else {
+		// Grid steps: amplitude in "decades" mapped to grid points.
+		maxSteps := m.amp[i] * v.gridDensity()
+		n := int(math.Round(rng.NormFloat64() * maxSteps))
+		if n == 0 {
+			if rng.Intn(2) == 0 {
+				n = 1
+			} else {
+				n = -1
+			}
+		}
+		next[i] = v.StepGrid(cur[i], n)
+	}
+	return next[i] != cur[i]
+}
+
+// Feedback adapts the amplitude of the last-perturbed variable: grow on
+// acceptance, shrink on rejection, so each variable's step size hovers
+// where roughly half its moves are accepted.
+func (m *RandomStep) Feedback(accepted bool, dCost float64) {
+	i := m.lastVar
+	if accepted {
+		m.amp[i] *= 1.03
+	} else {
+		m.amp[i] *= 0.985
+	}
+	// Keep amplitudes in a sane band: from one grid point to two ranges.
+	if m.amp[i] < 0.005 {
+		m.amp[i] = 0.005
+	}
+	if m.amp[i] > 2 {
+		m.amp[i] = 2
+	}
+}
+
+// AllStep perturbs every continuous variable simultaneously by a small
+// Gaussian step — useful late in the anneal to slide along valleys.
+type AllStep struct {
+	Label string
+	Vars  []VarSpec
+	amp   float64
+}
+
+// NewAllStep builds the all-variable perturbation class.
+func NewAllStep(label string, vars []VarSpec) *AllStep {
+	return &AllStep{Label: label, Vars: vars, amp: 0.02}
+}
+
+// Name identifies the class.
+func (m *AllStep) Name() string { return m.Label }
+
+// Propose perturbs all continuous variables of next.
+func (m *AllStep) Propose(cur, next []float64, rng *rand.Rand) bool {
+	moved := false
+	for i := range m.Vars {
+		v := &m.Vars[i]
+		if !v.Continuous {
+			continue
+		}
+		next[i] = v.Clamp(cur[i] + (v.Max-v.Min)*m.amp*rng.NormFloat64())
+		moved = moved || next[i] != cur[i]
+	}
+	return moved
+}
+
+// Feedback adapts the shared amplitude.
+func (m *AllStep) Feedback(accepted bool, dCost float64) {
+	if accepted {
+		m.amp *= 1.05
+	} else {
+		m.amp *= 0.99
+	}
+	if m.amp < 1e-4 {
+		m.amp = 1e-4
+	}
+	if m.amp > 0.5 {
+		m.amp = 0.5
+	}
+}
+
+// FuncMove adapts a plain function into a Move (used by OBLX for its
+// Newton-Raphson move classes).
+type FuncMove struct {
+	Label string
+	Fn    func(cur, next []float64, rng *rand.Rand) bool
+	Feedb func(accepted bool, dCost float64)
+}
+
+// Name identifies the class.
+func (m *FuncMove) Name() string { return m.Label }
+
+// Propose delegates to Fn.
+func (m *FuncMove) Propose(cur, next []float64, rng *rand.Rand) bool {
+	return m.Fn(cur, next, rng)
+}
+
+// Feedback delegates to Feedb when set.
+func (m *FuncMove) Feedback(accepted bool, dCost float64) {
+	if m.Feedb != nil {
+		m.Feedb(accepted, dCost)
+	}
+}

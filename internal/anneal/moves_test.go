@@ -1,0 +1,148 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomStepRespectsBounds(t *testing.T) {
+	vars := []VarSpec{
+		{Name: "c", Min: -1, Max: 1, Continuous: true},
+		{Name: "g", Min: 1e-6, Max: 1e-3, PointsPerDecade: 25},
+	}
+	m := NewRandomStep("r", vars, 0.5)
+	rng := rand.New(rand.NewSource(2))
+	cur := []float64{0, 1e-5}
+	next := make([]float64, 2)
+	for i := 0; i < 2000; i++ {
+		copy(next, cur)
+		if !m.Propose(cur, next, rng) {
+			continue
+		}
+		for j := range vars {
+			s := vars[j].Snap(next[j])
+			if s < vars[j].Min || s > vars[j].Max {
+				t.Fatalf("iteration %d: var %d out of range: %g", i, j, s)
+			}
+		}
+		// Exactly one variable changed.
+		changed := 0
+		for j := range vars {
+			if next[j] != cur[j] {
+				changed++
+			}
+		}
+		if changed > 1 {
+			t.Fatalf("RandomStep changed %d variables", changed)
+		}
+	}
+}
+
+func TestRandomStepAmplitudeAdaptation(t *testing.T) {
+	vars := []VarSpec{{Name: "c", Min: -1, Max: 1, Continuous: true}}
+	m := NewRandomStep("r", vars, 0.25)
+	rng := rand.New(rand.NewSource(3))
+	cur := []float64{0}
+	next := []float64{0}
+	m.Propose(cur, next, rng)
+	a0 := m.amp[0]
+	for i := 0; i < 50; i++ {
+		m.Feedback(false, 1)
+	}
+	if m.amp[0] >= a0 {
+		t.Error("amplitude should shrink under rejection")
+	}
+	for i := 0; i < 500; i++ {
+		m.Feedback(true, -1)
+	}
+	if m.amp[0] > 2 {
+		t.Error("amplitude must stay capped")
+	}
+	for i := 0; i < 5000; i++ {
+		m.Feedback(false, 1)
+	}
+	if m.amp[0] < 0.005 {
+		t.Error("amplitude must stay floored")
+	}
+}
+
+func TestAllStepOnlyMovesContinuous(t *testing.T) {
+	vars := []VarSpec{
+		{Name: "c", Min: -1, Max: 1, Continuous: true},
+		{Name: "g", Min: 1e-6, Max: 1e-3, PointsPerDecade: 25},
+	}
+	m := NewAllStep("a", vars)
+	rng := rand.New(rand.NewSource(4))
+	cur := []float64{0.5, 1e-5}
+	next := make([]float64, 2)
+	copy(next, cur)
+	if !m.Propose(cur, next, rng) {
+		t.Fatal("AllStep proposed nothing")
+	}
+	if next[1] != cur[1] {
+		t.Error("AllStep must not touch discrete variables")
+	}
+	if next[0] == cur[0] {
+		t.Error("AllStep should move the continuous variable")
+	}
+	// No continuous vars → no move.
+	m2 := NewAllStep("a", vars[1:])
+	copy(next, cur)
+	if m2.Propose(cur[1:], next[1:], rng) {
+		t.Error("AllStep with only discrete vars must decline")
+	}
+	m.Feedback(true, -1)
+	m.Feedback(false, 1)
+}
+
+func TestFuncMoveDelegation(t *testing.T) {
+	called := 0
+	fed := 0
+	m := &FuncMove{
+		Label: "f",
+		Fn: func(cur, next []float64, rng *rand.Rand) bool {
+			called++
+			return true
+		},
+		Feedb: func(acc bool, d float64) { fed++ },
+	}
+	if m.Name() != "f" {
+		t.Error("name")
+	}
+	if !m.Propose(nil, nil, nil) || called != 1 {
+		t.Error("Fn not delegated")
+	}
+	m.Feedback(true, 0)
+	if fed != 1 {
+		t.Error("Feedb not delegated")
+	}
+	// Nil Feedb is safe.
+	m2 := &FuncMove{Label: "g", Fn: m.Fn}
+	m2.Feedback(false, 0)
+}
+
+func TestBestResetAt(t *testing.T) {
+	// A cost function that *changes* at an early point (simulating
+	// adaptive weights): without BestResetAt the early best would win.
+	calls := 0
+	p := &funcProblem{
+		vars: contVars(1, -10, 10),
+		cost: func(x []float64) float64 {
+			calls++
+			base := (x[0] - 3) * (x[0] - 3)
+			if calls < 500 {
+				return base * 0.001 // early costs artificially low
+			}
+			return base
+		},
+	}
+	moves := []Move{NewRandomStep("r", p.vars, 0.3)}
+	res, err := Run(p, moves, Options{Seed: 6, MaxMoves: 20_000, BestResetAt: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best must reflect the late (true) cost scale and the optimum ≈ 3.
+	if res.Best[0] < 2.5 || res.Best[0] > 3.5 {
+		t.Errorf("best x = %g, want ≈ 3", res.Best[0])
+	}
+}

@@ -1,0 +1,196 @@
+package astrx
+
+import (
+	"math"
+
+	"astrx/internal/anneal"
+	"astrx/internal/netlist"
+)
+
+// Weights holds the scalar weights of eq. (2)/(5): per-spec weights, a
+// region-constraint weight, and the relaxed-dc KCL weight. The paper
+// replaces hand-tuned constants with an adaptive scheme (§V-A, "Control
+// Mechanisms"); Adapt implements a simple version — weights of
+// persistently violated constraint groups grow, so no problem-specific
+// tuning is ever required from the user.
+type Weights struct {
+	Spec   map[string]float64
+	Region float64
+	KCL    float64
+
+	// violation EMAs per group, updated during Cost evaluation.
+	emaSpec map[string]float64
+	emaReg  float64
+	emaKCL  float64
+}
+
+const (
+	// weightCap bounds adaptive growth: a runaway weight makes the cost
+	// landscape a cliff the annealer cannot traverse.
+	weightCap   = 300.0
+	emaDecay    = 0.999
+	adaptFactor = 1.2
+	adaptThresh = 1e-2
+	// specFailUnits is the normalized-violation equivalent charged for a
+	// spec that could not be evaluated at all (≫ 1 = "bad").
+	specFailUnits = 10.0
+)
+
+func newWeights(deck *netlist.Deck, bias *BiasCkt) *Weights {
+	w := &Weights{
+		Spec:    make(map[string]float64, len(deck.Specs)),
+		Region:  20,
+		KCL:     100, // dc-correctness must not be tradable against specs
+		emaSpec: make(map[string]float64, len(deck.Specs)),
+	}
+	for _, s := range deck.Specs {
+		if s.Objective {
+			w.Spec[s.Name] = 1
+		} else {
+			w.Spec[s.Name] = 10
+		}
+	}
+	return w
+}
+
+// Adapt grows the weight of any constraint group whose violation EMA
+// remains above threshold. OBLX calls it periodically during annealing.
+func (w *Weights) Adapt(deck *netlist.Deck) {
+	for _, s := range deck.Specs {
+		if s.Objective {
+			continue
+		}
+		if w.emaSpec[s.Name] > adaptThresh && w.Spec[s.Name] < weightCap {
+			w.Spec[s.Name] *= adaptFactor
+		}
+	}
+	if w.emaReg > adaptThresh && w.Region < weightCap {
+		w.Region *= adaptFactor
+	}
+	if w.emaKCL > adaptThresh && w.KCL < weightCap {
+		w.KCL *= adaptFactor
+	}
+}
+
+// Normalize maps a measured spec value onto the Nye-style scale: 0 at
+// good, 1 at bad, linear in between and beyond.
+func Normalize(s *netlist.Spec, v float64) float64 {
+	return (s.Good - v) / (s.Good - s.Bad)
+}
+
+// CostBreakdown itemizes C(x) per eq. (5).
+type CostBreakdown struct {
+	Objective float64 // C^obj
+	Perf      float64 // C^perf — spec constraint penalties
+	Dev       float64 // C^dev — region constraint penalties
+	DC        float64 // C^dc — relaxed-dc KCL penalties
+	Failed    bool    // evaluation failed; Total = FailCost
+	Total     float64
+}
+
+// Cost evaluates C(x) (implements anneal.Problem together with Vars).
+func (c *Compiled) Cost(x []float64) float64 {
+	return c.CostDetail(x).Total
+}
+
+// Vars implements anneal.Problem.
+func (c *Compiled) Vars() []anneal.VarSpec { return c.VarList }
+
+// CostDetail evaluates the full state and itemizes the cost.
+func (c *Compiled) CostDetail(x []float64) CostBreakdown {
+	st := c.Evaluate(x)
+	return c.CostFromState(st)
+}
+
+// CostFromState assembles C(x) from an evaluated state, updating the
+// adaptive-weight statistics as a side effect.
+func (c *Compiled) CostFromState(st *EvalState) CostBreakdown {
+	var out CostBreakdown
+	w := c.Weights
+	if st.Err != nil {
+		out.Failed = true
+		out.Total = c.Opt.FailCost
+		return out
+	}
+
+	// C^obj and C^perf.
+	for _, s := range c.Deck.Specs {
+		val := st.SpecVals[s.Name]
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			// Unevaluatable spec: treat as far beyond "bad".
+			out.Perf += w.Spec[s.Name] * specFailUnits
+			if !s.Objective {
+				w.emaSpec[s.Name] = emaDecay*w.emaSpec[s.Name] + (1 - emaDecay)
+			}
+			continue
+		}
+		u := Normalize(s, val)
+		if s.Objective {
+			// Keep optimizing past "good", but gently, so objectives
+			// cannot drown the penalty terms.
+			term := u
+			if u < 0 {
+				term = 0.05 * u
+			}
+			out.Objective += w.Spec[s.Name] * term
+		} else {
+			viol := math.Max(0, u)
+			out.Perf += w.Spec[s.Name] * viol
+			w.emaSpec[s.Name] = emaDecay*w.emaSpec[s.Name] + (1-emaDecay)*math.Min(viol, 1)
+		}
+	}
+
+	// C^dev: operating-region constraints.
+	regViol := 0.0
+	for _, r := range c.Deck.Regions {
+		op, ok := st.MOSOps[r.Device]
+		if !ok {
+			continue // BJT region constraints not defined
+		}
+		v := 0.0
+		switch r.Region {
+		case "sat":
+			v = math.Max(0, op.Vdsat+r.Margin-op.Vds)
+		case "triode":
+			v = math.Max(0, op.Vds-(op.Vdsat-r.Margin))
+		case "on":
+			v = math.Max(0, op.Vth+r.Margin-op.Vgs)
+		}
+		regViol += v // volts of violation
+	}
+	out.Dev = w.Region * regViol
+	w.emaReg = emaDecay*w.emaReg + (1-emaDecay)*math.Min(regViol, 1)
+
+	// C^dc: the relaxed-dc KCL penalties of eq. (3), normalized by the
+	// current magnitude flowing through each node.
+	kclViol := 0.0
+	for _, n := range c.Bias.FreeNodes {
+		res := math.Abs(st.KCL[n])
+		if res <= c.Opt.KCLTolAbs {
+			continue
+		}
+		kclViol += (res - c.Opt.KCLTolAbs) / (st.KCLFlow[n] + 1e-6)
+	}
+	out.DC = w.KCL * kclViol
+	w.emaKCL = emaDecay*w.emaKCL + (1-emaDecay)*math.Min(kclViol, 1)
+
+	out.Total = out.Objective + out.Perf + out.Dev + out.DC
+	if math.IsNaN(out.Total) || math.IsInf(out.Total, 0) {
+		out.Failed = true
+		out.Total = c.Opt.FailCost
+	}
+	return out
+}
+
+// MaxKCLError returns the worst relative KCL residual of a state — the
+// quantity Fig. 2 tracks along the optimization.
+func (st *EvalState) MaxKCLError() float64 {
+	worst := 0.0
+	for _, n := range st.C.Bias.FreeNodes {
+		rel := math.Abs(st.KCL[n]) / (st.KCLFlow[n] + 1e-12)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,181 @@
+package astrx
+
+import (
+	"fmt"
+
+	"astrx/internal/circuit"
+	"astrx/internal/devices"
+	"astrx/internal/linalg"
+)
+
+// EvaluateBias is the light-weight evaluation used inside Newton
+// iterations: node voltages, device operating points, and KCL residuals
+// only — no AWE, no specs.
+func (c *Compiled) EvaluateBias(x []float64) *EvalState {
+	st := &EvalState{
+		C:       c,
+		Vals:    make(map[string]float64, c.NUser+len(c.Deck.Consts)),
+		NodeV:   make(map[string]float64),
+		MOSOps:  make(map[string]devices.MOSOp, len(c.Bias.DevOrder)),
+		BJTOps:  make(map[string]devices.BJTOp),
+		KCL:     make(map[string]float64, len(c.Bias.FreeNodes)),
+		KCLFlow: make(map[string]float64, len(c.Bias.FreeNodes)),
+	}
+	if len(x) != len(c.VarList) {
+		st.Err = fmt.Errorf("astrx: state has %d values, want %d", len(x), len(c.VarList))
+		return st
+	}
+	for i := 0; i < c.NUser; i++ {
+		st.Vals[c.VarList[i].Name] = x[i]
+	}
+	for k, v := range c.Deck.Consts {
+		st.Vals[k] = v
+	}
+	st.solveNodeVoltages(x)
+	if st.Err != nil {
+		return st
+	}
+	st.evalDevices()
+	if st.Err != nil {
+		return st
+	}
+	st.evalKCL()
+	return st
+}
+
+// DCProblem adapts the compiled bias circuit to dcsolve.Problem: the
+// unknowns are the free node voltages, the user design variables are
+// frozen at the values carried in the prefix of x.
+type DCProblem struct {
+	c     *Compiled
+	userX []float64 // length NUser
+	full  []float64 // scratch full vector
+}
+
+// DCProblem builds the Newton problem with the design variables taken
+// from the prefix of x (the rest of x is ignored).
+func (c *Compiled) DCProblem(x []float64) *DCProblem {
+	p := &DCProblem{
+		c:     c,
+		userX: append([]float64(nil), x[:c.NUser]...),
+		full:  make([]float64, len(c.VarList)),
+	}
+	copy(p.full, p.userX)
+	return p
+}
+
+// N returns the number of free node voltages.
+func (p *DCProblem) N() int { return len(p.c.Bias.FreeNodes) }
+
+func (p *DCProblem) eval(v []float64) (*EvalState, error) {
+	copy(p.full, p.userX)
+	copy(p.full[p.c.NUser:], v)
+	st := p.c.EvaluateBias(p.full)
+	if st.Err != nil {
+		return nil, st.Err
+	}
+	return st, nil
+}
+
+// Residual fills f with the KCL residual (current leaving) at each free
+// node.
+func (p *DCProblem) Residual(v, f []float64) error {
+	st, err := p.eval(v)
+	if err != nil {
+		return err
+	}
+	for i, n := range p.c.Bias.FreeNodes {
+		f[i] = st.KCL[n]
+	}
+	return nil
+}
+
+// Jacobian fills j with ∂residual/∂(free node voltage) using the device
+// small-signal conductances and linear element stamps.
+func (p *DCProblem) Jacobian(v []float64, j *linalg.Matrix) error {
+	st, err := p.eval(v)
+	if err != nil {
+		return err
+	}
+	c := p.c
+	col := make(map[string]int, len(c.Bias.FreeNodes))
+	for i, n := range c.Bias.FreeNodes {
+		col[n] = i
+	}
+	stamp := func(rowNode, colNode string, g float64) {
+		r, okR := col[rowNode]
+		cc, okC := col[colNode]
+		if okR && okC {
+			j.Add(r, cc, g)
+		}
+	}
+	env := exprEnv{vals: st.Vals}
+
+	for _, e := range c.Bias.Net.Elements {
+		switch e.Kind {
+		case circuit.KindR:
+			rv, err := e.EvalValue(env)
+			if err != nil || rv == 0 {
+				return fmt.Errorf("astrx: jacobian: resistor %s: %v", e.Name, err)
+			}
+			g := 1 / rv
+			a, b := e.Nodes[0], e.Nodes[1]
+			stamp(a, a, g)
+			stamp(b, b, g)
+			stamp(a, b, -g)
+			stamp(b, a, -g)
+		case circuit.KindG:
+			gm, err := e.EvalValue(env)
+			if err != nil {
+				return err
+			}
+			a, b, cp, cn := e.Nodes[0], e.Nodes[1], e.Nodes[2], e.Nodes[3]
+			stamp(a, cp, gm)
+			stamp(a, cn, -gm)
+			stamp(b, cp, -gm)
+			stamp(b, cn, gm)
+		case circuit.KindM:
+			op := st.MOSOps[e.Name]
+			dd, dg, ds, db := mosTerminalPartials(op)
+			d, g, s, b := e.Nodes[0], e.Nodes[1], e.Nodes[2], e.Nodes[3]
+			// Row d: +Ids; row s: -Ids.
+			for _, t := range []struct {
+				node string
+				dIds float64
+			}{{d, dd}, {g, dg}, {s, ds}, {b, db}} {
+				stamp(d, t.node, t.dIds)
+				stamp(s, t.node, -t.dIds)
+			}
+		case circuit.KindQ:
+			op := st.BJTOps[e.Name]
+			cN, bN, eN := e.Nodes[0], e.Nodes[1], e.Nodes[2]
+			gmE := op.Gm + op.Go // ∂Ic'/∂vbe'
+			gmC := -op.Go        // ∂Ic'/∂vbc'
+			// Terminal partials (polarity cancels, as with MOS).
+			dIc := map[string]float64{bN: gmE + gmC, eN: -gmE, cN: -gmC}
+			dIb := map[string]float64{bN: op.Gpi + op.Gmu, eN: -op.Gpi, cN: -op.Gmu}
+			for node, g := range dIc {
+				stamp(cN, node, g)
+				stamp(eN, node, -g)
+			}
+			for node, g := range dIb {
+				stamp(bN, node, g)
+				stamp(eN, node, -g)
+			}
+		}
+	}
+	return nil
+}
+
+// mosTerminalPartials maps the operating point's primed-frame
+// conductances onto terminal-frame partial derivatives of the drain
+// terminal current: (∂Ids/∂vd, ∂vg, ∂vs, ∂vb). Polarity flips cancel;
+// source/drain swaps exchange the roles of gds and the source sum and
+// negate the gate/bulk terms.
+func mosTerminalPartials(op devices.MOSOp) (dd, dg, ds, db float64) {
+	gm, gds, gmbs := op.Gm, op.Gds, op.Gmbs
+	if !op.Swapped {
+		return gds, gm, -(gm + gds + gmbs), gmbs
+	}
+	return gm + gds + gmbs, -gm, -gds, -gmbs
+}

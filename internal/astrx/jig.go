@@ -1,0 +1,81 @@
+package astrx
+
+import (
+	"fmt"
+
+	"astrx/internal/circuit"
+	"astrx/internal/netlist"
+)
+
+// compileJig flattens one test jig, expands its devices, and binds every
+// device occurrence to the bias-circuit instance (matched by flattened
+// name) that will supply its operating point. Jig and bias instantiate
+// the same circuit module, so names line up by construction.
+func compileJig(deck *netlist.Deck, j *netlist.Jig, bias *BiasCkt) (*JigCkt, error) {
+	flat, err := circuit.Flatten(j.Name, j.Elements, deck.Modules, deck.Models)
+	if err != nil {
+		return nil, fmt.Errorf("astrx: jig %s: %w", j.Name, err)
+	}
+	net, devs, err := expandDevices(flat, deck)
+	if err != nil {
+		return nil, fmt.Errorf("astrx: jig %s: %w", j.Name, err)
+	}
+
+	jc := &JigCkt{Name: j.Name, TFs: j.TFs}
+	nodeSet := map[string]bool{}
+	addNodes := func(ns ...string) {
+		for _, n := range ns {
+			if !circuit.IsGround(n) && n != "" {
+				nodeSet[n] = true
+			}
+		}
+	}
+
+	for _, e := range net.Elements {
+		if e.Kind == circuit.KindM || e.Kind == circuit.KindQ {
+			continue // replaced per evaluation by small-signal models
+		}
+		jc.Linear = append(jc.Linear, e)
+		addNodes(e.Nodes...)
+	}
+	for _, d := range devs {
+		inst, ok := bias.Devices[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("astrx: jig %s: device %s has no twin in the bias circuit — the jig and bias must instantiate the circuit under design with the same instance name", j.Name, d.Name)
+		}
+		if inst.Kind != d.Kind {
+			return nil, fmt.Errorf("astrx: jig %s: device %s kind differs between jig and bias", j.Name, d.Name)
+		}
+		jd := &JigDev{Inst: inst}
+		if d.Kind == DevMOS {
+			jd.T = [4]string{d.MOS.D, d.MOS.G, d.MOS.S, d.MOS.B}
+		} else {
+			jd.T = [4]string{d.BJT.C, d.BJT.B, d.BJT.E, ""}
+		}
+		addNodes(jd.T[:]...)
+		jc.Devices = append(jc.Devices, jd)
+	}
+
+	// Validate the transfer-function requests against the jig circuit.
+	if len(jc.TFs) == 0 {
+		return nil, fmt.Errorf("astrx: jig %s declares no .pz transfer function", j.Name)
+	}
+	for _, tf := range jc.TFs {
+		src := net.Element(tf.Src)
+		if src == nil {
+			return nil, fmt.Errorf("astrx: jig %s: .pz %s references unknown source %q", j.Name, tf.Name, tf.Src)
+		}
+		if src.Kind != circuit.KindV && src.Kind != circuit.KindI {
+			return nil, fmt.Errorf("astrx: jig %s: .pz %s input %q is not an independent source", j.Name, tf.Name, tf.Src)
+		}
+		if !nodeSet[tf.OutPos] {
+			return nil, fmt.Errorf("astrx: jig %s: .pz %s output node %q not in circuit", j.Name, tf.Name, tf.OutPos)
+		}
+		if tf.OutNeg != "" && !nodeSet[tf.OutNeg] && !circuit.IsGround(tf.OutNeg) {
+			return nil, fmt.Errorf("astrx: jig %s: .pz %s output node %q not in circuit", j.Name, tf.Name, tf.OutNeg)
+		}
+	}
+
+	jc.AllNodes = sortedNames(nodeSet)
+	return jc, nil
+}

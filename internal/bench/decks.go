@@ -1,0 +1,686 @@
+// Package bench holds the benchmark circuit suite of the paper's Table 1
+// — Simple OTA, OTA, Two-Stage, Folded Cascode, Comparator, BiCMOS
+// Two-Stage, and the Novel Folded Cascode — as ASTRX decks, plus the
+// harnesses that regenerate every table and figure of the evaluation
+// section (see EXPERIMENTS.md for the index).
+//
+// The topologies are the standard published forms of each circuit; the
+// paper's exact schematics (Fig. 4) are low-resolution, so minor details
+// (cascode biasing style, mirror ratios) follow the textbook versions.
+// Spec targets mirror Table 2 where our synthetic process can reach
+// them; EXPERIMENTS.md records paper-vs-measured for every number.
+package bench
+
+// DeckSimpleOTA is the 5T-plus-bias-mirror transconductance amplifier —
+// the first column of Tables 1 and 2. Seven user variables, matching the
+// paper. Process/model selection is spliced in by Deck() so experiment
+// E6 can re-synthesize it under BSIM/2µ, BSIM/1.2µ, and MOS3/1.2µ.
+const deckSimpleOTABody = `
+.module ota (inp inn out vdd vss)
+m1 n1  inp ntail ntail NMOD w=W1 l=L1
+m2 out inn ntail ntail NMOD w=W1 l=L1
+m3 n1  n1  vdd  vdd  PMOD w=W3 l=L3
+m4 out n1  vdd  vdd  PMOD w=W3 l=L3
+m5 ntail nbias vss vss NMOD w=W5 l=L5
+m6 nbias nbias vss vss NMOD w=W5 l=L5
+ib vdd nbias Ib
+.ends
+
+.var W1 min=2u max=500u grid
+.var L1 min=2u max=20u  grid
+.var W3 min=2u max=500u grid
+.var L3 min=2u max=20u  grid
+.var W5 min=2u max=500u grid
+.var L5 min=2u max=20u  grid
+.var Ib min=2u max=250u cont
+
+.const Cl 1p
+
+.jig main
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.jig psdd
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5 ac 1
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfdd v(out) vdd
+.ends
+
+.jig psss
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5
+vss nvss 0 -2.5 ac 1
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfss v(out) vss
+.ends
+
+.bias
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+.ends
+
+.obj  adm   'db(dc_gain(tf))' good=37 bad=10
+.spec gbw   'ugf(tf)' good=40Meg bad=400k
+.spec pm    'phase_margin(tf)' good=60 bad=20
+.spec psrrn 'db(abs(dc_gain(tf)/dc_gain(tfss)))' good=20 bad=0
+.spec psrrp 'db(abs(dc_gain(tf)/dc_gain(tfdd)))' good=20 bad=0
+.spec swing '5 - xamp.m4.vdsat - xamp.m2.vdsat - xamp.m5.vdsat' good=2.3 bad=1
+.spec sr    'xamp.m5.id/(Cl+xamp.m2.cdb+xamp.m4.cdb)' good=10Meg bad=100k
+.spec pwr   'power()' good=1m bad=10m
+.obj  area  'active_area()' good=0.5n bad=50n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m3 sat
+.region xamp.m4 sat
+.region xamp.m5 sat
+`
+
+// DeckOTA is the symmetrical (mirrored) OTA: diff pair into diode loads,
+// mirrored to a single-ended class-A output branch. Eleven user
+// variables, as in Table 1.
+const deckOTA = `
+.lib c2u
+
+.module ota (inp inn out vdd vss)
+m1 n3 inp ntail ntail nmos3 w=W1 l=L1
+m2 n4 inn ntail ntail nmos3 w=W1 l=L1
+m3 n3 n3 vdd vdd pmos3 w=W3 l=L3
+m4 n4 n4 vdd vdd pmos3 w=W3 l=L3
+m5 n5  n3 vdd vdd pmos3 w=W5 l=L5
+m6 out n4 vdd vdd pmos3 w=W5 l=L5
+m9 n5 n5 vss vss nmos3 w=W9 l=L9
+m10 out n5 vss vss nmos3 w=W9 l=L9
+m7 ntail nbias vss vss nmos3 w=W7 l=L7
+m8 nbias nbias vss vss nmos3 w=W7 l=L7
+ib vdd nbias Ib
+.ends
+
+.var W1 min=2u max=500u grid
+.var L1 min=2u max=20u  grid
+.var W3 min=2u max=300u grid
+.var L3 min=2u max=20u  grid
+.var W5 min=2u max=500u grid
+.var L5 min=2u max=20u  grid
+.var W7 min=2u max=300u grid
+.var L7 min=2u max=20u  grid
+.var W9 min=2u max=500u grid
+.var L9 min=2u max=20u  grid
+.var Ib min=2u max=250u cont
+
+.const Cl 1p
+
+.jig main
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.jig psdd
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5 ac 1
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfdd v(out) vdd
+.ends
+
+.jig psss
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5
+vss nvss 0 -2.5 ac 1
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfss v(out) vss
+.ends
+
+.bias
+xamp inp inn out nvdd nvss ota
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+.ends
+
+.obj  adm   'db(dc_gain(tf))' good=40 bad=10
+.spec gbw   'ugf(tf)' good=10Meg bad=100k
+.spec pm    'phase_margin(tf)' good=45 bad=15
+.spec psrrn 'db(abs(dc_gain(tf)/dc_gain(tfss)))' good=40 bad=0
+.spec psrrp 'db(abs(dc_gain(tf)/dc_gain(tfdd)))' good=40 bad=0
+.spec swing '5 - xamp.m6.vdsat - xamp.m10.vdsat' good=2.5 bad=1
+.spec sr    'xamp.m10.id/(Cl+xamp.m6.cdb+xamp.m10.cdb)' good=10Meg bad=100k
+.spec pwr   'power()' good=1m bad=10m
+.obj  area  'active_area()' good=0.5n bad=50n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m5 sat
+.region xamp.m6 sat
+.region xamp.m7 sat
+.region xamp.m9 sat
+.region xamp.m10 sat
+`
+
+// DeckTwoStage is the Miller-compensated two-stage op-amp (compensation
+// capacitor and nulling resistor included as design variables).
+const deckTwoStage = `
+.lib c2u
+
+.module twostage (inp inn out vdd vss)
+m1 n1 inp ntail ntail nmos3 w=W1 l=L1
+m2 n2 inn ntail ntail nmos3 w=W1 l=L1
+m3 n1 n1 vdd vdd pmos3 w=W3 l=L3
+m4 n2 n1 vdd vdd pmos3 w=W3 l=L3
+m5 ntail nbias vss vss nmos3 w=W5 l=L5
+m6 nbias nbias vss vss nmos3 w=W5 l=L5
+m7 out n2 vdd vdd pmos3 w=W7 l=L7
+m8 out nbias vss vss nmos3 w=W8 l=L8
+rz n2 nz Rz
+cc nz out Cc
+ib vdd nbias Ib
+.ends
+
+.var W1 min=2u max=500u grid
+.var L1 min=2u max=20u  grid
+.var W3 min=2u max=300u grid
+.var L3 min=2u max=20u  grid
+.var W5 min=2u max=300u grid
+.var L5 min=2u max=20u  grid
+.var W7 min=5u max=800u grid
+.var L7 min=2u max=20u  grid
+.var W8 min=5u max=800u grid
+.var L8 min=2u max=20u  grid
+.var Ib min=2u max=200u cont
+.var Cc min=0.2p max=20p grid
+.var Rz min=100 max=50k grid
+
+.const Cl 1p
+
+.jig main
+xamp inp inn out nvdd nvss twostage
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.jig psdd
+xamp inp inn out nvdd nvss twostage
+vdd nvdd 0 2.5 ac 1
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfdd v(out) vdd
+.ends
+
+.jig psss
+xamp inp inn out nvdd nvss twostage
+vdd nvdd 0 2.5
+vss nvss 0 -2.5 ac 1
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfss v(out) vss
+.ends
+
+.bias
+xamp inp inn out nvdd nvss twostage
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+.ends
+
+.spec adm  'db(dc_gain(tf))' good=60 bad=20
+.spec gbw  'ugf(tf)' good=10Meg bad=100k
+.spec pm   'phase_margin(tf)' good=45 bad=10
+.spec psrrn 'db(abs(dc_gain(tf)/dc_gain(tfss)))' good=20 bad=0
+.spec psrrp 'db(abs(dc_gain(tf)/dc_gain(tfdd)))' good=40 bad=0
+.spec swing '5 - xamp.m7.vdsat - xamp.m8.vdsat' good=2 bad=0.5
+.spec sr   'min(xamp.m5.id, xamp.m8.id)/(Cl+Cc)' good=2Meg bad=20k
+.spec pwr  'power()' good=2.5m bad=15m
+.obj  area 'active_area()' good=0.5n bad=50n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m4 sat
+.region xamp.m5 sat
+.region xamp.m7 sat
+.region xamp.m8 sat
+`
+
+// DeckFoldedCascode is the single-ended-output folded-cascode op-amp
+// with a cascode current-mirror load.
+const deckFoldedCascode = `
+.lib c2u
+
+.module fc (inp inn out vdd vss)
+* input pair and tail
+m1 f1 inp ntail ntail nmos3 w=W1 l=L1
+m2 f2 inn ntail ntail nmos3 w=W1 l=L1
+m9 ntail nbias vss vss nmos3 w=W9 l=L9
+m10 nbias nbias vss vss nmos3 w=W9 l=L9
+ib vdd nbias Ib
+* top PMOS current sources into the folding nodes
+m3 f1 pb1 vdd vdd pmos3 w=W3 l=L3
+m4 f2 pb1 vdd vdd pmos3 w=W3 l=L3
+* PMOS cascodes from folding nodes to outputs
+m5 o1  pb2 f1 f1 pmos3 w=W5 l=L5
+m6 out pb2 f2 f2 pmos3 w=W5 l=L5
+* NMOS cascode mirror load
+m7 o1  o1 s1 s1 nmos3 w=W7 l=L7
+m8 out o1 s2 s2 nmos3 w=W7 l=L7
+m7b s1 o1 vss vss nmos3 w=W7b l=L7b
+m8b s2 o1 vss vss nmos3 w=W7b l=L7b
+* bias voltage generators
+vp1 pb1 vdd '0-Vb1'
+vp2 pb2 0 Vb2
+.ends
+
+.var W1  min=2u max=500u grid
+.var L1  min=2u max=10u  grid
+.var W3  min=2u max=500u grid
+.var L3  min=2u max=10u  grid
+.var W5  min=2u max=500u grid
+.var L5  min=2u max=10u  grid
+.var W7  min=2u max=500u grid
+.var L7  min=2u max=10u  grid
+.var W7b min=2u max=500u grid
+.var L7b min=2u max=10u  grid
+.var W9  min=2u max=500u grid
+.var L9  min=2u max=10u  grid
+.var Ib  min=2u max=400u cont
+.var Vb1 min=0.5 max=2.3 cont
+.var Vb2 min=-2.3 max=2.3 cont
+
+.const Cl 1.25p
+
+.jig main
+xamp inp inn out nvdd nvss fc
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.jig psdd
+xamp inp inn out nvdd nvss fc
+vdd nvdd 0 2.5 ac 1
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfdd v(out) vdd
+.ends
+
+.jig psss
+xamp inp inn out nvdd nvss fc
+vdd nvdd 0 2.5
+vss nvss 0 -2.5 ac 1
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfss v(out) vss
+.ends
+
+.bias
+xamp inp inn out nvdd nvss fc
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+.ends
+
+.spec adm  'db(dc_gain(tf))' good=65 bad=25
+.obj  gbw  'ugf(tf)' good=70Meg bad=700k
+.spec pm   'phase_margin(tf)' good=60 bad=20
+.spec psrrn 'db(abs(dc_gain(tf)/dc_gain(tfss)))' good=65 bad=10
+.spec psrrp 'db(abs(dc_gain(tf)/dc_gain(tfdd)))' good=65 bad=10
+.spec swing '2.5 - xamp.m6.vdsat - xamp.m4.vdsat - (-2.5 + xamp.m8.vdsat + xamp.m8b.vdsat)' good=2 bad=0.5
+.spec sr   'xamp.m9.id/(Cl+xamp.m6.cdb+xamp.m8.cdb)' good=50Meg bad=500k
+.spec pwr  'power()' good=15m bad=60m
+.obj  area 'active_area()' good=2n bad=200n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m3 sat
+.region xamp.m4 sat
+.region xamp.m5 sat
+.region xamp.m6 sat
+.region xamp.m7 sat
+.region xamp.m8 sat
+.region xamp.m7b sat
+.region xamp.m8b sat
+.region xamp.m9 sat
+`
+
+// DeckComparator is a three-stage open-loop comparator (two cascaded
+// diff stages plus a class-A output stage). Two test jigs measure the
+// full path and the preamp alone — the multi-jig case of Table 1.
+const deckComparator = `
+.lib c2u
+
+.module cmp (inp inn out pre vdd vss)
+* stage 1: diff pair with mirror load
+m1 p1 inp t1 t1 nmos3 w=W1 l=L1
+m2 pre inn t1 t1 nmos3 w=W1 l=L1
+m3 p1 p1 vdd vdd pmos3 w=W3 l=L3
+m4 pre p1 vdd vdd pmos3 w=W3 l=L3
+m5 t1 nbias vss vss nmos3 w=W5 l=L5
+* stage 2: second diff pair driven by pre, reference at vmid
+m11 q1 pre t2 t2 nmos3 w=W11 l=L11
+m12 s2o vref t2 t2 nmos3 w=W11 l=L11
+m13 q1 q1 vdd vdd pmos3 w=W13 l=L13
+m14 s2o q1 vdd vdd pmos3 w=W13 l=L13
+m15 t2 nbias vss vss nmos3 w=W5 l=L5
+* output stage
+m7 out s2o vdd vdd pmos3 w=W7 l=L7
+m8 out nbias vss vss nmos3 w=W8 l=L8
+* bias mirror
+m6 nbias nbias vss vss nmos3 w=W5 l=L5
+ib vdd nbias Ib
+vr vref 0 Vref
+.ends
+
+.var W1  min=2u max=400u grid
+.var L1  min=2u max=10u  grid
+.var W3  min=2u max=300u grid
+.var L3  min=2u max=10u  grid
+.var W5  min=2u max=300u grid
+.var L5  min=2u max=10u  grid
+.var W7  min=2u max=600u grid
+.var L7  min=2u max=10u  grid
+.var W8  min=2u max=600u grid
+.var L8  min=2u max=10u  grid
+.var W11 min=2u max=400u grid
+.var L11 min=2u max=10u  grid
+.var W13 min=2u max=300u grid
+.var L13 min=2u max=10u  grid
+.var Ib  min=2u max=200u cont
+.var Vref min=-1.5 max=1.5 cont
+
+.const Cl 0.5p
+
+.jig main
+xamp inp inn out pre nvdd nvss cmp
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.jig preamp
+xamp inp inn out pre nvdd nvss cmp
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tfpre v(pre) vin
+.ends
+
+.bias
+xamp inp inn out pre nvdd nvss cmp
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+.ends
+
+.obj  gain 'db(dc_gain(tf))' good=70 bad=30
+.spec pregain 'db(dc_gain(tfpre))' good=25 bad=5
+.spec bw   'bw3db(tf)' good=5Meg bad=50k
+.spec pwr  'power()' good=2m bad=20m
+.obj  area 'active_area()' good=1n bad=100n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m4 sat
+.region xamp.m5 sat
+.region xamp.m11 sat
+.region xamp.m12 sat
+.region xamp.m14 sat
+.region xamp.m15 sat
+.region xamp.m7 sat
+.region xamp.m8 sat
+`
+
+// DeckBiCMOSTwoStage replaces the two-stage's output device with an NPN
+// common-emitter stage — the mixed MOS/bipolar benchmark.
+const deckBiCMOSTwoStage = `
+.lib bicmos
+
+.module bistage (inp inn out vdd vss)
+* PMOS input pair with NMOS mirror load: first-stage output sits one
+* VBE above vss, directly driving the NPN common-emitter stage.
+m1 n1 inp ntail ntail pmos3 w=W1 l=L1
+m2 n2 inn ntail ntail pmos3 w=W1 l=L1
+m3 n1 n1 vss vss nmos3 w=W3 l=L3
+m4 n2 n1 vss vss nmos3 w=W3 l=L3
+m5 ntail pbias vdd vdd pmos3 w=W5 l=L5
+m6 pbias pbias vdd vdd pmos3 w=W5 l=L5
+q1 out n2 vss npn area=AQ1
+m8 out pbias vdd vdd pmos3 w=W8 l=L8
+rz n2 nz Rz
+cc nz out Cc
+ib pbias vss Ib
+.ends
+
+.var W1 min=2u max=500u grid
+.var L1 min=2u max=20u  grid
+.var W3 min=2u max=300u grid
+.var L3 min=2u max=20u  grid
+.var W5 min=2u max=300u grid
+.var L5 min=2u max=20u  grid
+.var W8 min=5u max=800u grid
+.var L8 min=2u max=20u  grid
+.var AQ1 min=0.5 max=40 grid
+.var Ib min=2u max=200u cont
+.var Cc min=0.2p max=20p grid
+.var Rz min=100 max=50k grid
+
+.const Cl 1p
+
+.jig main
+xamp inp inn out nvdd nvss bistage
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+vcm inn 0 0
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.jig psdd
+xamp inp inn out nvdd nvss bistage
+vdd nvdd 0 2.5 ac 1
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfdd v(out) vdd
+.ends
+
+.jig psss
+xamp inp inn out nvdd nvss bistage
+vdd nvdd 0 2.5
+vss nvss 0 -2.5 ac 1
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 out 0 Cl
+.pz tfss v(out) vss
+.ends
+
+.bias
+xamp inp inn out nvdd nvss bistage
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+.ends
+
+.obj  adm  'db(dc_gain(tf))' good=90 bad=40
+.spec gbw  'ugf(tf)' good=50Meg bad=500k
+.spec pm   'phase_margin(tf)' good=45 bad=10
+.spec psrrn 'db(abs(dc_gain(tf)/dc_gain(tfss)))' good=50 bad=10
+.spec psrrp 'db(abs(dc_gain(tf)/dc_gain(tfdd)))' good=40 bad=5
+.spec sr   'min(abs(xamp.m5.id), abs(xamp.m8.id))/(Cl+Cc)' good=10Meg bad=100k
+.spec pwr  'power()' good=20m bad=100m
+.obj  area 'active_area()' good=2n bad=200n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m4 sat
+.region xamp.m5 sat
+.region xamp.m8 sat
+`
+
+// DeckNovelFoldedCascode is the fully differential folded cascode with
+// cross-coupled positive-feedback load enhancement (after Nakamura &
+// Carley) — the Table 3 benchmark whose performance equations "cannot be
+// looked up in a textbook". Common-mode is pinned by large bleed
+// resistors in the bias circuit (a CMFB stand-in; see DESIGN.md §4).
+const deckNovelFoldedCascode = `
+.lib c2u
+
+.module nfc (inp inn outp outn vdd vss)
+* input pair and tail
+m1 f1 inp ntail ntail nmos3 w=W1 l=L1
+m2 f2 inn ntail ntail nmos3 w=W1 l=L1
+m9 ntail nbias vss vss nmos3 w=W9 l=L9
+m10 nbias nbias vss vss nmos3 w=W9 l=L9
+ib vdd nbias Ib
+* top PMOS sources with cross-coupled positive-feedback pair
+m3 f1 pb1 vdd vdd pmos3 w=W3 l=L3
+m4 f2 pb1 vdd vdd pmos3 w=W3 l=L3
+mx1 f1 f2 vdd vdd pmos3 w=Wx l=Lx
+mx2 f2 f1 vdd vdd pmos3 w=Wx l=Lx
+* PMOS cascodes to the differential outputs
+m5 outn pb2 f1 f1 pmos3 w=W5 l=L5
+m6 outp pb2 f2 f2 pmos3 w=W5 l=L5
+* NMOS cascode current sinks
+m7 outn nb2 s1 s1 nmos3 w=W7 l=L7
+m8 outp nb2 s2 s2 nmos3 w=W7 l=L7
+m7b s1 nb1 vss vss nmos3 w=W7b l=L7b
+m8b s2 nb1 vss vss nmos3 w=W7b l=L7b
+* bias voltages
+vp1 pb1 vdd '0-Vb1'
+vp2 pb2 0 Vb2
+vn1 nb1 vss Vb3
+vn2 nb2 0 Vb4
+.ends
+
+.var W1  min=2u max=600u grid
+.var L1  min=2u max=10u  grid
+.var W3  min=2u max=600u grid
+.var L3  min=2u max=10u  grid
+.var Wx  min=2u max=300u grid
+.var Lx  min=2u max=10u  grid
+.var W5  min=2u max=600u grid
+.var L5  min=2u max=10u  grid
+.var W7  min=2u max=600u grid
+.var L7  min=2u max=10u  grid
+.var W7b min=2u max=600u grid
+.var L7b min=2u max=10u  grid
+.var W9  min=2u max=600u grid
+.var L9  min=2u max=10u  grid
+.var Ib  min=5u max=800u cont
+.var Vb1 min=0.5 max=2.3 cont
+.var Vb2 min=-2.3 max=2.3 cont
+.var Vb3 min=0.5 max=2.3 cont
+.var Vb4 min=-2.3 max=2.3 cont
+
+.const Cl 1p
+
+.jig main
+xamp inp inn outp outn nvdd nvss nfc
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vin inp 0 0 ac 1
+ein inn 0 inp 0 -1
+cl1 outp 0 Cl
+cl2 outn 0 Cl
+rb1 outp 0 10meg
+rb2 outn 0 10meg
+.pz tf v(outp,outn) vin
+.ends
+
+.jig psdd
+xamp inp inn outp outn nvdd nvss nfc
+vdd nvdd 0 2.5 ac 1
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 outp 0 Cl
+cl2 outn 0 Cl
+rb1 outp 0 10meg
+rb2 outn 0 10meg
+.pz tfdd v(outp) vdd
+.ends
+
+.jig psss
+xamp inp inn outp outn nvdd nvss nfc
+vdd nvdd 0 2.5
+vss nvss 0 -2.5 ac 1
+vi1 inp 0 0
+vi2 inn 0 0
+cl1 outp 0 Cl
+cl2 outn 0 Cl
+rb1 outp 0 10meg
+rb2 outn 0 10meg
+.pz tfss v(outp) vss
+.ends
+
+.bias
+xamp inp inn outp outn nvdd nvss nfc
+vdd nvdd 0 2.5
+vss nvss 0 -2.5
+vi1 inp 0 0
+vi2 inn 0 0
+rb1 outp 0 10meg
+rb2 outn 0 10meg
+.ends
+
+.spec adm  'db(dc_gain(tf))' good=71.2 bad=30
+.obj  gbw  'ugf(tf)' good=48Meg bad=480k
+.spec pm   'phase_margin(tf)' good=60 bad=20
+.spec psrrn 'db(abs(dc_gain(tf)/dc_gain(tfss)))' good=50 bad=10
+.spec psrrp 'db(abs(dc_gain(tf)/dc_gain(tfdd)))' good=50 bad=10
+.spec swing '2.5 - xamp.m6.vdsat - xamp.m4.vdsat - (-2.5 + xamp.m8.vdsat + xamp.m8b.vdsat)' good=2.8 bad=1
+.spec sr   'xamp.m9.id/(2*(Cl+xamp.m6.cdb+xamp.m8.cdb))' good=76Meg bad=760k
+.spec pwr  'power()' good=25m bad=100m
+.obj  area 'active_area()' good=10n bad=500n
+.region xamp.m1 sat
+.region xamp.m2 sat
+.region xamp.m3 sat
+.region xamp.m4 sat
+.region xamp.m5 sat
+.region xamp.m6 sat
+.region xamp.m7 sat
+.region xamp.m8 sat
+.region xamp.m7b sat
+.region xamp.m8b sat
+.region xamp.m9 sat
+`

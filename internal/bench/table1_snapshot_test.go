@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// TestTable1Snapshot pins the E1 numbers recorded in EXPERIMENTS.md so
+// deck or compiler drift is caught deliberately: if a change here is
+// intentional, update both this table and EXPERIMENTS.md.
+func TestTable1Snapshot(t *testing.T) {
+	want := map[Circuit]struct {
+		userVars, nodeVars, biasNodes int
+	}{
+		SimpleOTA:      {7, 16, 20},
+		OTA:            {11, 26, 30},
+		TwoStage:       {13, 22, 26},
+		FoldedCascode:  {15, 32, 38},
+		Comparator:     {16, 34, 39},
+		BiCMOSTwoStage: {12, 20, 24},
+		NovelFC:        {19, 36, 44},
+	}
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		w, ok := want[r.Circuit]
+		if !ok {
+			t.Errorf("unexpected circuit %s", r.Circuit)
+			continue
+		}
+		if r.UserVars != w.userVars {
+			t.Errorf("%s: user vars = %d, want %d", r.Circuit, r.UserVars, w.userVars)
+		}
+		if r.NodeVars != w.nodeVars {
+			t.Errorf("%s: node vars = %d, want %d", r.Circuit, r.NodeVars, w.nodeVars)
+		}
+		if r.BiasNodes != w.biasNodes {
+			t.Errorf("%s: bias nodes = %d, want %d", r.Circuit, r.BiasNodes, w.biasNodes)
+		}
+	}
+	if len(rows) != len(want) {
+		t.Errorf("rows = %d, want %d", len(rows), len(want))
+	}
+}

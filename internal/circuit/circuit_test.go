@@ -1,0 +1,197 @@
+package circuit
+
+import (
+	"testing"
+
+	"astrx/internal/expr"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]Kind{
+		"r1": KindR, "Cload": KindC, "l2": KindL, "vdd": KindV,
+		"ibias": KindI, "e1": KindE, "gm1": KindG, "f1": KindF,
+		"h1": KindH, "m1": KindM, "q3": KindQ, "xamp": KindX,
+	}
+	for name, want := range cases {
+		got, ok := KindOf(name)
+		if !ok || got != want {
+			t.Errorf("KindOf(%q) = %v,%v want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := KindOf("zz"); ok {
+		t.Error("KindOf(zz) should fail")
+	}
+	if _, ok := KindOf(""); ok {
+		t.Error("KindOf(\"\") should fail")
+	}
+}
+
+func TestKindNodeCount(t *testing.T) {
+	if KindR.NodeCount() != 2 || KindE.NodeCount() != 4 || KindM.NodeCount() != 4 ||
+		KindQ.NodeCount() != 3 || KindX.NodeCount() != -1 {
+		t.Error("NodeCount wrong for some kind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindM.String() != "M" || Kind(99).String() == "" {
+		t.Error("Kind.String misbehaves")
+	}
+}
+
+func TestElementEval(t *testing.T) {
+	env := expr.MapEnv{"W": 10e-6}
+	e := &Element{Name: "m1", Kind: KindM,
+		Params: map[string]expr.Node{"w": expr.MustParse("W*2")}}
+	v, err := e.EvalParam("W", 0, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20e-6 {
+		t.Errorf("EvalParam = %g, want 20e-6", v)
+	}
+	// Absent param returns default.
+	v, err = e.EvalParam("l", 5e-6, env)
+	if err != nil || v != 5e-6 {
+		t.Errorf("default param = %g,%v want 5e-6,nil", v, err)
+	}
+	// No value is an error.
+	if _, err := e.EvalValue(env); err == nil {
+		t.Error("EvalValue on valueless element should fail")
+	}
+	r := &Element{Name: "r1", Kind: KindR, Value: expr.MustParse("2k")}
+	v, err = r.EvalValue(env)
+	if err != nil || v != 2000 {
+		t.Errorf("EvalValue = %g,%v want 2000,nil", v, err)
+	}
+	// Error propagation from bad expressions.
+	bad := &Element{Name: "r2", Kind: KindR, Value: expr.MustParse("nope")}
+	if _, err := bad.EvalValue(env); err == nil {
+		t.Error("EvalValue with unknown var should fail")
+	}
+}
+
+func TestModelP(t *testing.T) {
+	m := &Model{Name: "n1", Type: "nmos", Level: 3, Params: map[string]float64{"vto": 0.7}}
+	if m.P("VTO", 0) != 0.7 {
+		t.Error("P should be case-insensitive via lowering")
+	}
+	if m.P("kp", 5) != 5 {
+		t.Error("P default not honored")
+	}
+}
+
+func TestBuildIndexAndLookup(t *testing.T) {
+	n := &Netlist{Elements: []*Element{
+		{Name: "r1", Kind: KindR, Nodes: []string{"a", "b"}},
+		{Name: "r2", Kind: KindR, Nodes: []string{"b", "0"}},
+		{Name: "c1", Kind: KindC, Nodes: []string{"a", "gnd"}},
+	}}
+	n.BuildIndex()
+	if n.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", n.NumNodes())
+	}
+	ia, ok := n.NodeIndex("a")
+	if !ok || ia != 0 {
+		t.Errorf("NodeIndex(a) = %d,%v", ia, ok)
+	}
+	ig, ok := n.NodeIndex("0")
+	if !ok || ig != -1 {
+		t.Errorf("NodeIndex(0) = %d,%v want -1,true", ig, ok)
+	}
+	ig2, ok := n.NodeIndex("gnd")
+	if !ok || ig2 != -1 {
+		t.Errorf("NodeIndex(gnd) = %d,%v want -1,true", ig2, ok)
+	}
+	if _, ok := n.NodeIndex("zzz"); ok {
+		t.Error("NodeIndex(zzz) should fail")
+	}
+	if n.NodeName(-1) != Ground || n.NodeName(0) != "a" {
+		t.Error("NodeName mapping wrong")
+	}
+	if n.Element("r2") == nil || n.Element("nope") != nil {
+		t.Error("Element lookup wrong")
+	}
+	s := n.Stats()
+	if s.Nodes != 2 || s.Elements != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestFlattenSimple(t *testing.T) {
+	sub := &Subckt{
+		Name:  "amp",
+		Ports: []string{"in", "out"},
+		Elements: []*Element{
+			{Name: "r1", Kind: KindR, Nodes: []string{"in", "mid"}, Value: expr.MustParse("1k")},
+			{Name: "r2", Kind: KindR, Nodes: []string{"mid", "out"}, Value: expr.MustParse("1k")},
+			{Name: "c1", Kind: KindC, Nodes: []string{"mid", "0"}, Value: expr.MustParse("1p")},
+		},
+	}
+	top := []*Element{
+		{Name: "vin", Kind: KindV, Nodes: []string{"n1", "0"}, Value: expr.MustParse("0"), ACMag: 1},
+		{Name: "x1", Kind: KindX, Nodes: []string{"n1", "n2"}, Sub: "amp"},
+		{Name: "rl", Kind: KindR, Nodes: []string{"n2", "0"}, Value: expr.MustParse("10k")},
+	}
+	nl, err := Flatten("t", top, map[string]*Subckt{"amp": sub}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Elements) != 5 {
+		t.Fatalf("flattened to %d elements, want 5", len(nl.Elements))
+	}
+	if nl.Element("x1.r1") == nil {
+		t.Error("missing qualified element x1.r1")
+	}
+	// Internal node becomes x1.mid; ports map to n1/n2.
+	r1 := nl.Element("x1.r1")
+	if r1.Nodes[0] != "n1" || r1.Nodes[1] != "x1.mid" {
+		t.Errorf("x1.r1 nodes = %v", r1.Nodes)
+	}
+	c1 := nl.Element("x1.c1")
+	if c1.Nodes[1] != Ground {
+		t.Errorf("ground must stay global, got %v", c1.Nodes)
+	}
+	if nl.NumNodes() != 3 { // n1, n2, x1.mid
+		t.Errorf("NumNodes = %d, want 3", nl.NumNodes())
+	}
+}
+
+func TestFlattenNested(t *testing.T) {
+	inner := &Subckt{Name: "cell", Ports: []string{"p"},
+		Elements: []*Element{{Name: "r1", Kind: KindR, Nodes: []string{"p", "q"}, Value: expr.MustParse("1")}}}
+	outer := &Subckt{Name: "blk", Ports: []string{"t"},
+		Elements: []*Element{{Name: "x2", Kind: KindX, Nodes: []string{"t"}, Sub: "cell"}}}
+	top := []*Element{{Name: "x1", Kind: KindX, Nodes: []string{"a"}, Sub: "blk"}}
+	nl, err := Flatten("t", top, map[string]*Subckt{"cell": inner, "blk": outer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := nl.Element("x1.x2.r1")
+	if e == nil {
+		t.Fatal("missing doubly nested element")
+	}
+	if e.Nodes[0] != "a" || e.Nodes[1] != "x1.x2.q" {
+		t.Errorf("nested nodes = %v", e.Nodes)
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	top := []*Element{{Name: "x1", Kind: KindX, Nodes: []string{"a"}, Sub: "nope"}}
+	if _, err := Flatten("t", top, nil, nil); err == nil {
+		t.Error("unknown subckt should fail")
+	}
+	sub := &Subckt{Name: "s", Ports: []string{"p", "q"}}
+	top = []*Element{{Name: "x1", Kind: KindX, Nodes: []string{"a"}, Sub: "s"}}
+	if _, err := Flatten("t", top, map[string]*Subckt{"s": sub}, nil); err == nil {
+		t.Error("port count mismatch should fail")
+	}
+}
+
+func TestSortedModelNames(t *testing.T) {
+	m := map[string]*Model{"zz": {}, "aa": {}, "mm": {}}
+	got := SortedModelNames(m)
+	if len(got) != 3 || got[0] != "aa" || got[2] != "zz" {
+		t.Errorf("SortedModelNames = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+// Package ckttest provides tiny helpers for constructing flat linear
+// netlists in tests across the repository.
+package ckttest
+
+import (
+	"fmt"
+
+	"astrx/internal/circuit"
+	"astrx/internal/expr"
+)
+
+// E builds an element from a SPICE-ish description. The kind is inferred
+// from the name's first letter; value may be "" for kinds without one.
+func E(name string, nodes []string, value string) *circuit.Element {
+	k, ok := circuit.KindOf(name)
+	if !ok {
+		panic(fmt.Sprintf("ckttest: bad element name %q", name))
+	}
+	e := &circuit.Element{Name: name, Kind: k, Nodes: nodes}
+	if value != "" {
+		e.Value = expr.MustParse(value)
+	}
+	return e
+}
+
+// V builds an independent voltage source with a DC value and AC
+// magnitude.
+func V(name string, np, nn string, dc string, acMag float64) *circuit.Element {
+	e := E(name, []string{np, nn}, dc)
+	e.ACMag = acMag
+	return e
+}
+
+// Netlist builds an indexed flat netlist from elements.
+func Netlist(elems ...*circuit.Element) *circuit.Netlist {
+	nl := &circuit.Netlist{Elements: elems}
+	nl.BuildIndex()
+	return nl
+}
+
+// RCLadder builds an n-stage RC ladder driven by source vin with AC
+// magnitude 1: vin - R - node1 - C to ground - R - node2 - C … The output
+// is node "n<n>".
+func RCLadder(n int, r, c float64) *circuit.Netlist {
+	elems := []*circuit.Element{V("vin", "in", "0", "0", 1)}
+	prev := "in"
+	for i := 1; i <= n; i++ {
+		node := fmt.Sprintf("n%d", i)
+		elems = append(elems,
+			E(fmt.Sprintf("r%d", i), []string{prev, node}, fmt.Sprintf("%g", r)),
+			E(fmt.Sprintf("c%d", i), []string{node, "0"}, fmt.Sprintf("%g", c)),
+		)
+		prev = node
+	}
+	return Netlist(elems...)
+}

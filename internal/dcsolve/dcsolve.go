@@ -1,0 +1,238 @@
+// Package dcsolve implements a damped Newton-Raphson solver for nonlinear
+// DC operating points. OBLX uses it two ways, following §V-A of the
+// paper: as full and partial *moves* inside the annealing (gradient-
+// directed steps toward dc-correctness on the relaxed-dc formulation),
+// and — in package verify — as the reference simulator's bias solver for
+// checking finished designs. Gmin stepping provides the continuation
+// safety net a detailed circuit simulator would have.
+package dcsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"astrx/internal/linalg"
+)
+
+// Problem is a nonlinear nodal system F(v) = 0 with Jacobian.
+type Problem interface {
+	// N returns the number of unknowns.
+	N() int
+	// Residual fills f with F(v).
+	Residual(v, f []float64) error
+	// Jacobian fills j (N×N) with ∂F/∂v.
+	Jacobian(v []float64, j *linalg.Matrix) error
+}
+
+// Options tunes the solve.
+type Options struct {
+	MaxIter int     // 0 → 120
+	AbsTol  float64 // residual tolerance (0 → 1e-12)
+	RelTol  float64 // per-unknown relative step tolerance (0 → 1e-9)
+	MaxStep float64 // voltage-step limit per iteration (0 → 1.0 V)
+	// GminSteps enables continuation: the solver first solves with a
+	// large diagonal conductance and re-solves while stepping it down to
+	// Gmin over this many decades (0 → direct solve only).
+	GminSteps int
+	Gmin      float64 // final diagonal conductance (0 → 1e-12)
+	// BestEffort makes Solve return the last iterate (with a non-nil
+	// *Result alongside ErrNoConvergence) instead of discarding partial
+	// progress — what OBLX's gradient-directed moves want.
+	BestEffort bool
+}
+
+func (o *Options) defaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 120
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1e-12
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-9
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 1.0
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+}
+
+// ErrNoConvergence is returned when Newton iteration fails to converge.
+var ErrNoConvergence = errors.New("dcsolve: no convergence")
+
+// Result reports a solve.
+type Result struct {
+	V          []float64
+	Iterations int
+	ResidNorm  float64
+}
+
+// Solve runs (optionally gmin-stepped) damped Newton-Raphson from v0.
+func Solve(p Problem, v0 []float64, opt Options) (*Result, error) {
+	opt.defaults()
+	v := append([]float64(nil), v0...)
+	if opt.GminSteps > 0 {
+		// Continuation from a heavily loaded system down to Gmin.
+		g := 1e-3
+		target := opt.Gmin
+		steps := opt.GminSteps
+		factor := math.Pow(target/g, 1/float64(steps))
+		for i := 0; i < steps; i++ {
+			r, err := newton(p, v, g, opt)
+			if err == nil || (opt.BestEffort && r != nil) {
+				v = r.V
+			}
+			g *= factor
+		}
+	}
+	return newton(p, v, opt.Gmin, opt)
+}
+
+// Step performs exactly one damped Newton iteration from v0 and returns
+// the stepped vector (used by OBLX's partial-Newton move class). The
+// boolean reports whether a usable step was produced.
+func Step(p Problem, v0 []float64, opt Options) ([]float64, bool) {
+	opt.defaults()
+	n := p.N()
+	f := make([]float64, n)
+	if err := p.Residual(v0, f); err != nil {
+		return nil, false
+	}
+	j := linalg.NewMatrix(n, n)
+	if err := p.Jacobian(v0, j); err != nil {
+		return nil, false
+	}
+	for i := 0; i < n; i++ {
+		j.Add(i, i, opt.Gmin)
+	}
+	lu, err := linalg.FactorLU(j)
+	if err != nil {
+		return nil, false
+	}
+	dv := lu.Solve(f)
+	out := append([]float64(nil), v0...)
+	for i := range out {
+		step := dv[i]
+		if step > opt.MaxStep {
+			step = opt.MaxStep
+		}
+		if step < -opt.MaxStep {
+			step = -opt.MaxStep
+		}
+		out[i] -= step
+	}
+	return out, true
+}
+
+func newton(p Problem, v0 []float64, gmin float64, opt Options) (*Result, error) {
+	n := p.N()
+	v := append([]float64(nil), v0...)
+	f := make([]float64, n)
+	j := linalg.NewMatrix(n, n)
+	trial := make([]float64, n)
+	ftrial := make([]float64, n)
+
+	if err := p.Residual(v, f); err != nil {
+		return nil, fmt.Errorf("dcsolve: %w", err)
+	}
+	norm := residNorm(v, f, gmin)
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		if norm < opt.AbsTol {
+			return &Result{V: v, Iterations: it - 1, ResidNorm: norm}, nil
+		}
+		j.Zero()
+		if err := p.Jacobian(v, j); err != nil {
+			return nil, fmt.Errorf("dcsolve: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			j.Add(i, i, gmin)
+		}
+		lu, err := linalg.FactorLU(j)
+		if err != nil {
+			return nil, fmt.Errorf("dcsolve: singular Jacobian: %w", err)
+		}
+		// Residual including the gmin load.
+		for i := 0; i < n; i++ {
+			f[i] += gmin * v[i]
+		}
+		dv := lu.Solve(f)
+
+		// Voltage-step limiting.
+		maxdv := linalg.VecNormInf(dv)
+		scale := 1.0
+		if maxdv > opt.MaxStep {
+			scale = opt.MaxStep / maxdv
+		}
+
+		// Backtracking line search on the residual norm.
+		alpha := scale
+		improved := false
+		var bestNorm float64
+		for bt := 0; bt < 12; bt++ {
+			for i := range v {
+				trial[i] = v[i] - alpha*dv[i]
+			}
+			if err := p.Residual(trial, ftrial); err != nil {
+				alpha /= 2
+				continue
+			}
+			tn := residNorm(trial, ftrial, gmin)
+			if tn < norm || tn < opt.AbsTol {
+				copy(v, trial)
+				copy(f, ftrial)
+				bestNorm = tn
+				improved = true
+				break
+			}
+			alpha /= 2
+		}
+		if !improved {
+			// Accept the tiny step anyway — near machine precision the
+			// norm can stagnate while still being acceptable.
+			if norm < 1e3*opt.AbsTol {
+				return &Result{V: v, Iterations: it, ResidNorm: norm}, nil
+			}
+			err := fmt.Errorf("%w: stalled at |F| = %g after %d iterations", ErrNoConvergence, norm, it)
+			if opt.BestEffort {
+				return &Result{V: v, Iterations: it, ResidNorm: norm}, err
+			}
+			return nil, err
+		}
+		norm = bestNorm
+		// Relative step convergence.
+		stepMax := 0.0
+		for i := range dv {
+			s := math.Abs(alpha * dv[i])
+			if s > stepMax {
+				stepMax = s
+			}
+		}
+		if stepMax < opt.RelTol && norm < 1e6*opt.AbsTol {
+			return &Result{V: v, Iterations: it, ResidNorm: norm}, nil
+		}
+	}
+	if norm < 1e3*opt.AbsTol {
+		return &Result{V: v, Iterations: opt.MaxIter, ResidNorm: norm}, nil
+	}
+	err := fmt.Errorf("%w: |F| = %g after %d iterations", ErrNoConvergence, norm, opt.MaxIter)
+	if opt.BestEffort {
+		return &Result{V: v, Iterations: opt.MaxIter, ResidNorm: norm}, err
+	}
+	return nil, err
+}
+
+// residNorm is the infinity norm of F(v) + gmin·v.
+func residNorm(v, f []float64, gmin float64) float64 {
+	m := 0.0
+	for i := range f {
+		r := math.Abs(f[i] + gmin*v[i])
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}

@@ -1,0 +1,147 @@
+package devices
+
+import "math"
+
+// BJTParams is the Gummel-Poon model card parameter set.
+type BJTParams struct {
+	Name string
+	Kind DeviceType // NPN or PNP
+
+	IS  float64 // transport saturation current (A)
+	BF  float64 // forward beta
+	BR  float64 // reverse beta
+	VAF float64 // forward Early voltage (V); 0 → infinite
+	VAR float64 // reverse Early voltage (V); 0 → infinite
+	NF  float64 // forward emission coefficient
+	NR  float64 // reverse emission coefficient
+	TF  float64 // forward transit time (s)
+	CJE float64 // B-E zero-bias junction cap (F)
+	VJE float64 // B-E junction potential (V)
+	MJE float64 // B-E grading
+	CJC float64 // B-C zero-bias junction cap (F)
+	VJC float64 // B-C junction potential (V)
+	MJC float64 // B-C grading
+}
+
+// Normalize applies SPICE defaults in place.
+func (p *BJTParams) Normalize() *BJTParams {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&p.IS, 1e-16)
+	def(&p.BF, 100)
+	def(&p.BR, 1)
+	def(&p.NF, 1)
+	def(&p.NR, 1)
+	def(&p.VJE, 0.75)
+	def(&p.MJE, 0.33)
+	def(&p.VJC, 0.75)
+	def(&p.MJC, 0.33)
+	return p
+}
+
+// BJTModel is the encapsulated Gummel-Poon evaluator.
+type BJTModel struct {
+	P BJTParams
+}
+
+// NewBJT builds a Gummel-Poon model from parameters.
+func NewBJT(p BJTParams) *BJTModel {
+	p.Normalize()
+	return &BJTModel{P: p}
+}
+
+// ModelName returns the model card name.
+func (m *BJTModel) ModelName() string { return m.P.Name }
+
+// Type returns NPN or PNP.
+func (m *BJTModel) Type() DeviceType { return m.P.Kind }
+
+// BJTCore holds polarity-normalized collector and base currents.
+type BJTCore struct {
+	Ic, Ib float64
+}
+
+// Core evaluates the DC Gummel-Poon equations at polarity-normalized
+// junction voltages (vbe, vbc).
+func (m *BJTModel) Core(vbe, vbc, area float64) BJTCore {
+	p := &m.P
+	if area <= 0 {
+		area = 1
+	}
+	is := p.IS * area
+	ef := limexp(vbe/(p.NF*Vt)) - 1
+	er := limexp(vbc/(p.NR*Vt)) - 1
+	// Base-width modulation (Early effect) via qb.
+	qb := 1.0
+	if p.VAF > 0 {
+		qb /= (1 - vbc/p.VAF)
+	}
+	if p.VAR > 0 {
+		qb /= (1 - vbe/p.VAR)
+	}
+	if qb < 1e-3 {
+		qb = 1e-3
+	}
+	icc := is * (ef - er) / qb
+	ic := icc - is/p.BR*er
+	ib := is/p.BF*ef + is/p.BR*er
+	return BJTCore{Ic: ic, Ib: ib}
+}
+
+// BJTOp is the full terminal-polarity operating point of a BJT
+// instance.
+type BJTOp struct {
+	// Ic and Ib are signed terminal currents into collector and base.
+	Ic, Ib float64
+	// Small-signal parameters (S and F), polarity-invariant.
+	Gm, Gpi, Go, Gmu float64
+	Cpi, Cmu         float64
+	// Vbe, Vbc echo the normalized junction voltages.
+	Vbe, Vbc float64
+	// Forward reports normal forward-active operation.
+	Forward bool
+}
+
+// EvalBJT evaluates the model at raw terminal voltages (vc, vb, ve),
+// handling polarity and deriving small-signal parameters by finite
+// differences.
+func EvalBJT(m *BJTModel, area float64, vc, vb, ve float64) BJTOp {
+	pol := m.Type().Polarity()
+	vbe := pol * (vb - ve)
+	vbc := pol * (vb - vc)
+	core := m.Core(vbe, vbc, area)
+
+	const dv = 1e-6
+	ic := func(e, c float64) float64 { return m.Core(e, c, area).Ic }
+	ib := func(e, c float64) float64 { return m.Core(e, c, area).Ib }
+	gmE := (ic(vbe+dv, vbc) - ic(vbe-dv, vbc)) / (2 * dv) // ∂Ic/∂Vbe
+	gmC := (ic(vbe, vbc+dv) - ic(vbe, vbc-dv)) / (2 * dv) // ∂Ic/∂Vbc
+	gpi := (ib(vbe+dv, vbc) - ib(vbe-dv, vbc)) / (2 * dv) // ∂Ib/∂Vbe
+	gmu := (ib(vbe, vbc+dv) - ib(vbe, vbc-dv)) / (2 * dv) // ∂Ib/∂Vbc
+
+	// Map junction-referenced derivatives to hybrid-π parameters:
+	// Ic(vbe, vbc) with vce = vbe - vbc. go = ∂Ic/∂Vce|vbe = -gmC,
+	// gm = ∂Ic/∂Vbe|vce = gmE + gmC.
+	op := BJTOp{
+		Ic:      pol * core.Ic,
+		Ib:      pol * core.Ib,
+		Gm:      gmE + gmC,
+		Gpi:     gpi,
+		Go:      -gmC,
+		Gmu:     gmu,
+		Vbe:     vbe,
+		Vbc:     vbc,
+		Forward: vbe > 0.4 && vbc < 0.2,
+	}
+	p := &m.P
+	if area <= 0 {
+		area = 1
+	}
+	// Diffusion + junction capacitances.
+	op.Cpi = p.TF*math.Abs(op.Gm) + junctionCap(p.CJE*area, 0, vbe, p.VJE, p.MJE, 0.33)
+	op.Cmu = junctionCap(p.CJC*area, 0, vbc, p.VJC, p.MJC, 0.33)
+	return op
+}

@@ -1,0 +1,85 @@
+package devices
+
+import "math"
+
+// BSIM is a BSIM1-style MOS model (SPICE "level 4"): two-coefficient
+// body effect (K1, K2), drain-induced barrier lowering (ETA), gate-field
+// mobility degradation, and a body-charge-sharing saturation factor. It
+// is deliberately a *different* fit of device behaviour than Level 3 —
+// the paper's model-comparison experiment (Simple OTA under BSIM vs MOS3)
+// depends on the two models disagreeing about the same silicon.
+type BSIM struct {
+	P MOSParams
+}
+
+// NewBSIM builds a BSIM-style model from parameters. K1 defaults to
+// Gamma and K2 to a small positive value when unset.
+func NewBSIM(p MOSParams) *BSIM {
+	p.Normalize()
+	if p.K1 == 0 {
+		p.K1 = p.Gamma
+	}
+	if p.K2 == 0 {
+		p.K2 = 0.02
+	}
+	if p.MobDeg == 0 {
+		p.MobDeg = 0.1
+	}
+	return &BSIM{P: p}
+}
+
+// ModelName returns the model card name.
+func (m *BSIM) ModelName() string { return m.P.Name }
+
+// Type returns the device polarity.
+func (m *BSIM) Type() DeviceType { return m.P.Kind }
+
+// Level returns 4 (the SPICE level number BSIM1 was shipped under).
+func (m *BSIM) Level() int { return 4 }
+
+// Series returns the per-instance parasitic resistances.
+func (m *BSIM) Series(g MOSGeom) (rd, rs float64) {
+	w := g.W * g.Mult()
+	if w <= 0 {
+		return 0, 0
+	}
+	return m.P.RDW / w, m.P.RSW / w
+}
+
+// Core evaluates the BSIM1-style DC equations.
+func (m *BSIM) Core(b MOSBias, g MOSGeom) MOSCore {
+	p := &m.P
+	leff := p.Leff(g.L)
+	cox := p.Cox()
+
+	phiB := sqrtPos(p.Phi-b.Vbs, 1e-3)
+	vth := p.VTO + p.K1*(phiB-math.Sqrt(p.Phi)) - p.K2*(p.Phi-b.Vbs-p.Phi) - p.Eta*b.Vds
+	// (The K2 term is written so it vanishes at Vbs=0, matching VTO.)
+
+	nvt := p.NSub * Vt
+	voveff := softplus2(b.Vgs-vth, nvt)
+
+	// Body-charge sharing factor a ≥ 1.
+	gg := 1 - 1/(1.744+0.8364*(p.Phi-b.Vbs))
+	a := 1 + gg*p.K1/(2*phiB)
+	if a < 1 {
+		a = 1
+	}
+
+	// Gate-field mobility degradation.
+	beta := p.U0 * 1e-4 * cox * g.W * g.Mult() / leff / (1 + p.MobDeg*voveff)
+
+	vdsat := voveff / a
+	var ids float64
+	if b.Vds < vdsat {
+		ids = beta * (voveff - a*b.Vds/2) * b.Vds
+	} else {
+		ids = beta * voveff * voveff / (2 * a) * (1 + p.PCLM*(b.Vds-vdsat))
+	}
+	return MOSCore{Ids: ids, Vth: vth, Vdsat: vdsat}
+}
+
+// Caps returns Meyer + junction capacitances.
+func (m *BSIM) Caps(b MOSBias, g MOSGeom, core MOSCore) MOSCaps {
+	return m.P.meyerCaps(b, g, core)
+}

@@ -1,0 +1,383 @@
+package devices
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astrx/internal/circuit"
+)
+
+func nmosL1() *Level1 {
+	return NewLevel1(MOSParams{Name: "n1", Kind: NMOS, VTO: 0.8, KP: 50e-6,
+		Gamma: 0.45, Phi: 0.66, Lambda: 0.04})
+}
+
+func pmosL1() *Level1 {
+	return NewLevel1(MOSParams{Name: "p1", Kind: PMOS, VTO: 0.9, KP: 20e-6,
+		Gamma: 0.55, Phi: 0.62, Lambda: 0.05})
+}
+
+var geom = MOSGeom{W: 20e-6, L: 2e-6}
+
+func TestLevel1SquareLaw(t *testing.T) {
+	m := nmosL1()
+	// Saturation: vgs=2, vds=3, vbs=0; vov=1.2 ≫ nvt so softplus ≈ vov.
+	op := EvalMOS(m, geom, 3, 2, 0, 0)
+	want := 0.5 * 50e-6 * (20.0 / 2.0) * 1.2 * 1.2 * (1 + 0.04*3)
+	if math.Abs(op.Ids-want)/want > 0.02 {
+		t.Errorf("Ids = %g, want ≈ %g", op.Ids, want)
+	}
+	if op.Region != RegionSaturation {
+		t.Errorf("region = %v, want saturation", op.Region)
+	}
+	// gm ≈ 2 Ids/vov for square law.
+	if gmWant := 2 * op.Ids / 1.2; math.Abs(op.Gm-gmWant)/gmWant > 0.05 {
+		t.Errorf("Gm = %g, want ≈ %g", op.Gm, gmWant)
+	}
+	// gds ≈ λ·Ids/(1+λvds).
+	gdsWant := 0.04 * op.Ids / (1 + 0.04*3)
+	if math.Abs(op.Gds-gdsWant)/gdsWant > 0.05 {
+		t.Errorf("Gds = %g, want ≈ %g", op.Gds, gdsWant)
+	}
+}
+
+func TestLevel1Triode(t *testing.T) {
+	m := nmosL1()
+	op := EvalMOS(m, geom, 0.2, 2, 0, 0) // vds=0.2 < vov=1.2
+	if op.Region != RegionTriode {
+		t.Errorf("region = %v, want triode", op.Region)
+	}
+	want := 50e-6 * 10 * (1.2 - 0.1) * 0.2 * (1 + 0.04*0.2)
+	if math.Abs(op.Ids-want)/want > 0.03 {
+		t.Errorf("triode Ids = %g, want ≈ %g", op.Ids, want)
+	}
+}
+
+func TestSubthresholdSlope(t *testing.T) {
+	m := nmosL1()
+	// Below threshold the current must follow exp(vgs/(n·vt)).
+	op1 := EvalMOS(m, geom, 2, 0.5, 0, 0)
+	op2 := EvalMOS(m, geom, 2, 0.5+m.P.NSub*Vt*math.Ln2, 0, 0)
+	if op1.Ids <= 0 {
+		t.Fatalf("subthreshold Ids = %g, want > 0", op1.Ids)
+	}
+	ratio := op2.Ids / op1.Ids
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("subthreshold ratio = %g, want ≈ 2 per n·vt·ln2", ratio)
+	}
+	if op1.Region != RegionCutoff && op1.Region != RegionSubthreshold {
+		t.Errorf("region = %v, want cutoff/subthreshold", op1.Region)
+	}
+}
+
+func TestPMOSPolarity(t *testing.T) {
+	mp := pmosL1()
+	// PMOS with source at 5V, gate 3V, drain 1V: |vgs|=2, |vds|=4 → on,
+	// current flows source→drain, i.e. *out* of the drain: Ids < 0.
+	op := EvalMOS(mp, geom, 1, 3, 5, 5)
+	if op.Ids >= 0 {
+		t.Fatalf("PMOS Ids = %g, want negative (current out of drain)", op.Ids)
+	}
+	if op.Region != RegionSaturation {
+		t.Errorf("region = %v, want saturation", op.Region)
+	}
+	// Small-signal conductances stay positive in terminal frame.
+	if op.Gm <= 0 || op.Gds <= 0 {
+		t.Errorf("PMOS small-signal not positive: gm=%g gds=%g", op.Gm, op.Gds)
+	}
+	// Mirror symmetry with an equivalent NMOS.
+	mn := NewLevel1(MOSParams{Name: "n", Kind: NMOS, VTO: 0.9, KP: 20e-6,
+		Gamma: 0.55, Phi: 0.62, Lambda: 0.05})
+	opn := EvalMOS(mn, geom, 4, 2, 0, 0)
+	if math.Abs(op.Ids+opn.Ids)/opn.Ids > 1e-9 {
+		t.Errorf("PMOS/NMOS mirror mismatch: %g vs %g", op.Ids, opn.Ids)
+	}
+}
+
+func TestSourceDrainSwap(t *testing.T) {
+	m := nmosL1()
+	// Reverse operation: drain at 0, source at 2 (gate 3): conducts in
+	// reverse, current out of the drain terminal.
+	op := EvalMOS(m, geom, 0, 3, 2, 0)
+	if !op.Swapped {
+		t.Error("expected source/drain swap")
+	}
+	if op.Ids >= 0 {
+		t.Errorf("reverse Ids = %g, want negative", op.Ids)
+	}
+	// Magnitude equals the forward evaluation with relabeled terminals
+	// (note vbs differs after swap; use vb equal to the new source).
+	fwd := EvalMOS(m, geom, 2, 3, 0, 0)
+	if math.Abs(op.Ids+fwd.Ids)/fwd.Ids > 1e-9 {
+		t.Errorf("swap magnitude mismatch: %g vs %g", op.Ids, fwd.Ids)
+	}
+}
+
+// Property: Ids is monotone nondecreasing in vgs and vds for all models.
+func TestMonotonicityProperty(t *testing.T) {
+	models := []MOSModel{
+		nmosL1(),
+		NewLevel3(MOSParams{Name: "n3", Kind: NMOS, VTO: 0.8, U0: 620,
+			Gamma: 0.45, Phi: 0.66, Theta: 0.055, Vmax: 1.6e5, Kappa: 0.05, Eta: 0.25}),
+		NewBSIM(MOSParams{Name: "nb", Kind: NMOS, VTO: 0.83, U0: 570,
+			Gamma: 0.45, Phi: 0.66, K1: 0.52, K2: 0.03, Eta: 0.015}),
+	}
+	rng := rand.New(rand.NewSource(17))
+	f := func(vg1, vd1, seed uint16) bool {
+		vgsA := float64(vg1%500) / 100 // 0..5
+		vdsA := float64(vd1%500) / 100
+		r := rand.New(rand.NewSource(int64(seed)))
+		vbs := -2 * r.Float64()
+		for _, m := range models {
+			b := MOSBias{Vgs: vgsA, Vds: vdsA, Vbs: vbs}
+			i1 := m.Core(b, geom).Ids
+			i2 := m.Core(MOSBias{Vgs: vgsA + 0.01, Vds: vdsA, Vbs: vbs}, geom).Ids
+			i3 := m.Core(MOSBias{Vgs: vgsA, Vds: vdsA + 0.01, Vbs: vbs}, geom).Ids
+			if i2 < i1-1e-15 || i3 < i1-1e-15 {
+				return false
+			}
+			if i1 < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevel3ShortChannelEffects(t *testing.T) {
+	long := NewLevel3(MOSParams{Name: "n3", Kind: NMOS, VTO: 0.8, U0: 620,
+		Gamma: 0.45, Phi: 0.66, Theta: 0.055, Vmax: 1.6e5, Kappa: 0.05, Eta: 0.25})
+	// Velocity saturation: Ids grows sublinearly vs square law at high vov.
+	g := MOSGeom{W: 10e-6, L: 1.2e-6}
+	i1 := long.Core(MOSBias{Vgs: 1.8, Vds: 3, Vbs: 0}, g).Ids
+	i2 := long.Core(MOSBias{Vgs: 2.8, Vds: 3, Vbs: 0}, g).Ids
+	// Square law predicts (2/1)² = 4×; velocity saturation must reduce it.
+	if r := i2 / i1; r > 3.6 {
+		t.Errorf("short-channel ratio = %g, want < 3.6 (velocity saturation)", r)
+	}
+	// DIBL: threshold drops with vds.
+	c1 := long.Core(MOSBias{Vgs: 1.5, Vds: 0.1, Vbs: 0}, g)
+	c2 := long.Core(MOSBias{Vgs: 1.5, Vds: 4, Vbs: 0}, g)
+	if c2.Vth >= c1.Vth {
+		t.Errorf("DIBL missing: Vth(vds=4) = %g ≥ Vth(vds=0.1) = %g", c2.Vth, c1.Vth)
+	}
+}
+
+func TestModelsDisagree(t *testing.T) {
+	// The model-comparison experiment requires Level 3 and BSIM to give
+	// meaningfully different currents for the same bias and geometry.
+	lib, err := Library("c1.2u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3raw, err := FromModel(lib["nmos3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbraw, err := FromModel(lib["nbsim"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := m3raw.(MOSModel)
+	mb := mbraw.(MOSModel)
+	g := MOSGeom{W: 20e-6, L: 1.2e-6}
+	b := MOSBias{Vgs: 1.5, Vds: 2.5, Vbs: -1}
+	i3 := m3.Core(b, g).Ids
+	ib := mb.Core(b, g).Ids
+	rel := math.Abs(i3-ib) / math.Max(i3, ib)
+	if rel < 0.05 {
+		t.Errorf("Level3 and BSIM agree to %.1f%% — models too similar for E6", rel*100)
+	}
+	if rel > 0.9 {
+		t.Errorf("Level3 and BSIM differ by %.0f%% — implausible for one process", rel*100)
+	}
+}
+
+func TestCapsSaturation(t *testing.T) {
+	m := nmosL1()
+	op := EvalMOS(m, geom, 3, 2, 0, 0) // saturation
+	c0 := m.P.Cox() * geom.W * m.P.Leff(geom.L)
+	if math.Abs(op.Caps.Cgs-(2.0/3.0)*c0)/c0 > 0.01 {
+		t.Errorf("sat Cgs = %g, want 2/3·C0 = %g", op.Caps.Cgs, 2.0/3.0*c0)
+	}
+	if op.Caps.Cgd != 0 {
+		t.Errorf("sat Cgd = %g, want 0 (no overlap in this card)", op.Caps.Cgd)
+	}
+	all := []float64{op.Caps.Cgs, op.Caps.Cgd, op.Caps.Cgb, op.Caps.Cdb, op.Caps.Csb}
+	for i, c := range all {
+		if c < 0 {
+			t.Errorf("cap %d negative: %g", i, c)
+		}
+	}
+	// Cutoff: gate-bulk cap dominates.
+	opOff := EvalMOS(m, geom, 3, 0, 0, 0)
+	if opOff.Caps.Cgb < 0.9*c0 {
+		t.Errorf("cutoff Cgb = %g, want ≈ C0 = %g", opOff.Caps.Cgb, c0)
+	}
+}
+
+func TestJunctionCapReverseBias(t *testing.T) {
+	c0 := junctionCap(1e-12, 0, 0, 0.8, 0.5, 0.33)
+	cRev := junctionCap(1e-12, 0, -5, 0.8, 0.5, 0.33)
+	cFwd := junctionCap(1e-12, 0, 0.6, 0.8, 0.5, 0.33)
+	if !(cRev < c0 && c0 < cFwd) {
+		t.Errorf("junction cap ordering wrong: rev %g, zero %g, fwd %g", cRev, c0, cFwd)
+	}
+	if junctionCap(0, 0, -1, 0.8, 0.5, 0.33) != 0 {
+		t.Error("zero cj0 must give zero cap")
+	}
+}
+
+func TestSeriesResistance(t *testing.T) {
+	m := NewLevel1(MOSParams{Name: "n", Kind: NMOS, RDW: 8e-4, RSW: 8e-4})
+	rd, rs := m.Series(MOSGeom{W: 10e-6, L: 2e-6})
+	if math.Abs(rd-80) > 1e-9 || math.Abs(rs-80) > 1e-9 {
+		t.Errorf("series R = %g/%g, want 80/80", rd, rs)
+	}
+	rd, rs = m.Series(MOSGeom{W: 10e-6, L: 2e-6, M: 2})
+	if math.Abs(rd-40) > 1e-9 {
+		t.Errorf("series R with M=2 = %g, want 40", rd)
+	}
+	rd, rs = m.Series(MOSGeom{})
+	if rd != 0 || rs != 0 {
+		t.Error("zero-width geometry must give zero series R")
+	}
+}
+
+func TestBJTForwardActive(t *testing.T) {
+	m := NewBJT(BJTParams{Name: "q", Kind: NPN, IS: 1e-16, BF: 100, VAF: 50})
+	op := EvalBJT(m, 1, 3, 0.7, 0) // vc=3, vb=0.7, ve=0
+	if !op.Forward {
+		t.Error("expected forward-active")
+	}
+	if op.Ic <= 0 || op.Ib <= 0 {
+		t.Fatalf("Ic=%g Ib=%g, want positive", op.Ic, op.Ib)
+	}
+	// gm = Ic/Vt within Early-effect correction.
+	if r := op.Gm / (op.Ic / Vt); math.Abs(r-1) > 0.05 {
+		t.Errorf("gm/(Ic/Vt) = %g, want ≈ 1", r)
+	}
+	// Current gain ≈ BF.
+	if beta := op.Ic / op.Ib; math.Abs(beta-100)/100 > 0.15 {
+		t.Errorf("beta = %g, want ≈ 100", beta)
+	}
+	// Output conductance ≈ Ic/VAF.
+	if r := op.Go / (op.Ic / 50); r < 0.5 || r > 2 {
+		t.Errorf("go = %g, want ≈ Ic/VAF = %g", op.Go, op.Ic/50)
+	}
+	// Ic scales with area.
+	op2 := EvalBJT(m, 2, 3, 0.7, 0)
+	if math.Abs(op2.Ic/op.Ic-2) > 1e-6 {
+		t.Errorf("area scaling: %g, want 2", op2.Ic/op.Ic)
+	}
+}
+
+func TestBJTPNPPolarity(t *testing.T) {
+	m := NewBJT(BJTParams{Name: "q", Kind: PNP, IS: 1e-16, BF: 50})
+	// PNP: emitter at 5, base 4.3, collector 1 → forward active,
+	// collector current flows *out* of the collector: Ic < 0.
+	op := EvalBJT(m, 1, 1, 4.3, 5)
+	if op.Ic >= 0 {
+		t.Errorf("PNP Ic = %g, want negative", op.Ic)
+	}
+	if !op.Forward {
+		t.Error("PNP should be forward active")
+	}
+	if op.Gm <= 0 || op.Gpi <= 0 {
+		t.Errorf("PNP small-signal not positive: gm=%g gpi=%g", op.Gm, op.Gpi)
+	}
+}
+
+func TestBJTSaturationAndCutoff(t *testing.T) {
+	m := NewBJT(BJTParams{Name: "q", Kind: NPN, IS: 1e-16, BF: 100, BR: 2})
+	// Cutoff: both junctions reverse biased → tiny currents.
+	op := EvalBJT(m, 1, 3, -1, 0)
+	if math.Abs(op.Ic) > 1e-12 {
+		t.Errorf("cutoff Ic = %g, want ≈ 0", op.Ic)
+	}
+	if op.Forward {
+		t.Error("cutoff must not report forward")
+	}
+	// Deep saturation: vbc > 0 pulls Ic down vs forward active.
+	fwd := EvalBJT(m, 1, 3, 0.7, 0)
+	sat := EvalBJT(m, 1, 0.05, 0.7, 0)
+	if sat.Ic >= fwd.Ic {
+		t.Errorf("saturation Ic %g not below forward %g", sat.Ic, fwd.Ic)
+	}
+}
+
+func TestBJTCaps(t *testing.T) {
+	m := NewBJT(BJTParams{Name: "q", Kind: NPN, IS: 1e-16, BF: 100,
+		TF: 20e-12, CJE: 60e-15, CJC: 40e-15})
+	op := EvalBJT(m, 1, 3, 0.7, 0)
+	if op.Cpi <= 60e-15 {
+		t.Errorf("Cpi = %g, want > CJE (diffusion term)", op.Cpi)
+	}
+	if op.Cmu <= 0 || op.Cmu > 40e-15 {
+		t.Errorf("Cmu = %g, want in (0, CJC] for reverse-biased BC", op.Cmu)
+	}
+}
+
+func TestLimexp(t *testing.T) {
+	if limexp(1) != math.Exp(1) {
+		t.Error("limexp below limit must equal exp")
+	}
+	big := limexp(100)
+	if math.IsInf(big, 1) || big <= math.Exp(40) {
+		t.Errorf("limexp(100) = %g, want finite and > exp(40)", big)
+	}
+}
+
+func TestFromModelErrors(t *testing.T) {
+	if _, err := FromModel(&circuit.Model{Name: "x", Type: "weird"}); err == nil {
+		t.Error("unknown type must error")
+	}
+	if _, err := FromModel(&circuit.Model{Name: "x", Type: "nmos", Level: 7}); err == nil {
+		t.Error("unsupported MOS level must error")
+	}
+}
+
+func TestLibraryErrors(t *testing.T) {
+	if _, err := Library("c90nm"); err == nil {
+		t.Error("unknown process must error")
+	}
+	for _, p := range []string{"c2u", "c1.2u", "c1p2u", "bicmos"} {
+		lib, err := Library(p)
+		if err != nil {
+			t.Fatalf("Library(%s): %v", p, err)
+		}
+		for name, mc := range lib {
+			if _, err := FromModel(mc); err != nil {
+				t.Errorf("process %s model %s: %v", p, name, err)
+			}
+		}
+	}
+	// bicmos includes BJTs.
+	lib, _ := Library("bicmos")
+	if lib["npn"] == nil || lib["pnp"] == nil {
+		t.Error("bicmos must include npn and pnp")
+	}
+}
+
+func TestDeviceTypeStrings(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" ||
+		NPN.String() != "npn" || PNP.String() != "pnp" {
+		t.Error("DeviceType.String broken")
+	}
+	if DeviceType(99).String() != "unknown" {
+		t.Error("unknown DeviceType string")
+	}
+	if NMOS.Polarity() != 1 || PMOS.Polarity() != -1 || PNP.Polarity() != -1 {
+		t.Error("polarity wrong")
+	}
+	for _, r := range []Region{RegionCutoff, RegionSubthreshold, RegionTriode, RegionSaturation} {
+		if r.String() == "unknown" {
+			t.Errorf("region %d has no name", r)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package devices
+
+// Level1 is the classic square-law MOS model (SPICE Level 1 / Shichman-
+// Hodges) with channel-length modulation and an EKV-style smooth
+// subthreshold tail. It is the model whose simplifications the paper
+// argues are "grossly inaccurate" for submicron devices — included both
+// as a baseline and because the equation-based prior approaches the
+// benchmarks compare against are built on it.
+type Level1 struct {
+	P MOSParams
+}
+
+// NewLevel1 builds a Level 1 model from parameters (normalizing
+// defaults).
+func NewLevel1(p MOSParams) *Level1 {
+	p.Normalize()
+	return &Level1{P: p}
+}
+
+// ModelName returns the model card name.
+func (m *Level1) ModelName() string { return m.P.Name }
+
+// Type returns the device polarity.
+func (m *Level1) Type() DeviceType { return m.P.Kind }
+
+// Level returns 1.
+func (m *Level1) Level() int { return 1 }
+
+// Series returns the per-instance parasitic resistances.
+func (m *Level1) Series(g MOSGeom) (rd, rs float64) {
+	w := g.W * g.Mult()
+	if w <= 0 {
+		return 0, 0
+	}
+	return m.P.RDW / w, m.P.RSW / w
+}
+
+// Core evaluates the square-law equations.
+func (m *Level1) Core(b MOSBias, g MOSGeom) MOSCore {
+	p := &m.P
+	vth := p.VTO + p.vthBody(b.Vbs)
+	nvt := p.NSub * Vt
+	voveff := softplus2(b.Vgs-vth, nvt)
+	beta := p.KP * g.W * g.Mult() / p.Leff(g.L)
+
+	vdsat := voveff
+	var ids float64
+	if b.Vds < vdsat {
+		ids = beta * (voveff - b.Vds/2) * b.Vds * (1 + p.Lambda*b.Vds)
+	} else {
+		ids = beta / 2 * voveff * voveff * (1 + p.Lambda*b.Vds)
+	}
+	return MOSCore{Ids: ids, Vth: vth, Vdsat: vdsat}
+}
+
+// Caps returns Meyer + junction capacitances.
+func (m *Level1) Caps(b MOSBias, g MOSGeom, core MOSCore) MOSCaps {
+	return m.P.meyerCaps(b, g, core)
+}

@@ -1,0 +1,135 @@
+package devices
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Small-signal consistency: the finite-difference conductances reported
+// by EvalMOS must match independent finite differences of the terminal
+// current for all three models, across random biases.
+func TestSmallSignalConsistencyProperty(t *testing.T) {
+	models := []MOSModel{
+		NewLevel1(MOSParams{Name: "n1", Kind: NMOS, VTO: 0.8, KP: 50e-6, Lambda: 0.04}),
+		NewLevel3(MOSParams{Name: "n3", Kind: NMOS, VTO: 0.8, U0: 620,
+			Theta: 0.055, Vmax: 1.6e5, Kappa: 0.05, Eta: 0.25}),
+		NewBSIM(MOSParams{Name: "nb", Kind: NMOS, VTO: 0.83, U0: 570, K1: 0.52}),
+	}
+	g := MOSGeom{W: 20e-6, L: 2e-6}
+	f := func(a, b, c uint16) bool {
+		vd := 0.3 + float64(a%40)/10 // 0.3..4.2 (forward region, no swap)
+		vg := 0.5 + float64(b%35)/10
+		vb := -float64(c%20) / 10
+		for _, m := range models {
+			op := EvalMOS(m, g, vd, vg, 0, vb)
+			const dv = 1e-4
+			up := EvalMOS(m, g, vd, vg+dv, 0, vb).Ids
+			dn := EvalMOS(m, g, vd, vg-dv, 0, vb).Ids
+			gmFD := (up - dn) / (2 * dv)
+			scale := math.Abs(op.Gm) + math.Abs(gmFD) + 1e-12
+			if math.Abs(op.Gm-gmFD)/scale > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The three models must agree on broad physics even while disagreeing in
+// detail: current through zero at vds=0, and gm > 0 in strong inversion.
+func TestModelsPhysicalInvariants(t *testing.T) {
+	models := []MOSModel{
+		NewLevel1(MOSParams{Name: "n1", Kind: NMOS, VTO: 0.8, KP: 50e-6}),
+		NewLevel3(MOSParams{Name: "n3", Kind: NMOS, VTO: 0.8, U0: 620,
+			Theta: 0.055, Vmax: 1.6e5, Eta: 0.25}),
+		NewBSIM(MOSParams{Name: "nb", Kind: NMOS, VTO: 0.83, U0: 570, K1: 0.52}),
+	}
+	g := MOSGeom{W: 20e-6, L: 2e-6}
+	for _, m := range models {
+		core := m.Core(MOSBias{Vgs: 2, Vds: 0, Vbs: 0}, g)
+		if core.Ids != 0 {
+			t.Errorf("%s: Ids(vds=0) = %g, want 0", m.ModelName(), core.Ids)
+		}
+		op := EvalMOS(m, g, 2.5, 2, 0, 0)
+		if op.Gm <= 0 {
+			t.Errorf("%s: gm = %g in strong inversion", m.ModelName(), op.Gm)
+		}
+		if op.Vdsat <= 0 {
+			t.Errorf("%s: vdsat = %g", m.ModelName(), op.Vdsat)
+		}
+	}
+}
+
+// Body effect raises the threshold under reverse body bias in all models.
+func TestBodyEffect(t *testing.T) {
+	models := []MOSModel{
+		NewLevel1(MOSParams{Name: "n1", Kind: NMOS, VTO: 0.8, Gamma: 0.45, Phi: 0.66}),
+		NewLevel3(MOSParams{Name: "n3", Kind: NMOS, VTO: 0.8, Gamma: 0.45, Phi: 0.66, U0: 620}),
+		NewBSIM(MOSParams{Name: "nb", Kind: NMOS, VTO: 0.8, Gamma: 0.45, Phi: 0.66, K1: 0.5}),
+	}
+	g := MOSGeom{W: 10e-6, L: 2e-6}
+	for _, m := range models {
+		v0 := m.Core(MOSBias{Vgs: 1.5, Vds: 2, Vbs: 0}, g).Vth
+		vr := m.Core(MOSBias{Vgs: 1.5, Vds: 2, Vbs: -2}, g).Vth
+		if vr <= v0 {
+			t.Errorf("%s: Vth(vbs=-2) = %g not above Vth(0) = %g", m.ModelName(), vr, v0)
+		}
+	}
+}
+
+// Gate-area capacitance scales with W·L; junction caps with W.
+func TestCapScaling(t *testing.T) {
+	m := NewLevel1(MOSParams{Name: "n", Kind: NMOS, VTO: 0.8, KP: 50e-6, CJ: 2.4e-4})
+	small := EvalMOS(m, MOSGeom{W: 10e-6, L: 2e-6}, 2.5, 2, 0, 0)
+	big := EvalMOS(m, MOSGeom{W: 20e-6, L: 4e-6}, 2.5, 2, 0, 0)
+	if r := big.Caps.Cgs / small.Caps.Cgs; math.Abs(r-4) > 0.3 {
+		t.Errorf("Cgs scaling = %g, want ≈ 4 (2x W · 2x L)", r)
+	}
+	if r := big.Caps.Cdb / small.Caps.Cdb; math.Abs(r-2) > 0.2 {
+		t.Errorf("Cdb scaling = %g, want ≈ 2 (2x W)", r)
+	}
+	// Multiplier acts like parallel devices.
+	m2 := EvalMOS(m, MOSGeom{W: 10e-6, L: 2e-6, M: 2}, 2.5, 2, 0, 0)
+	if r := m2.Ids / small.Ids; math.Abs(r-2) > 0.01 {
+		t.Errorf("M=2 current scaling = %g, want 2", r)
+	}
+}
+
+// BSIM DIBL: Vth falls with Vds.
+func TestBSIMDIBL(t *testing.T) {
+	m := NewBSIM(MOSParams{Name: "nb", Kind: NMOS, VTO: 0.8, K1: 0.5, Eta: 0.02, U0: 570})
+	g := MOSGeom{W: 10e-6, L: 1.2e-6}
+	lo := m.Core(MOSBias{Vgs: 1.2, Vds: 0.1}, g).Vth
+	hi := m.Core(MOSBias{Vgs: 1.2, Vds: 4}, g).Vth
+	if hi >= lo {
+		t.Errorf("BSIM DIBL missing: Vth %g → %g", lo, hi)
+	}
+}
+
+// Softplus helper sanity: smooth, positive, asymptotically linear.
+func TestSoftplus(t *testing.T) {
+	nvt := 0.036
+	if v := softplus2(1.0, nvt); math.Abs(v-1.0) > 0.01 {
+		t.Errorf("softplus2(1) = %g, want ≈ 1", v)
+	}
+	if v := softplus2(-1.0, nvt); v <= 0 || v > 1e-5 {
+		t.Errorf("softplus2(-1) = %g, want tiny positive", v)
+	}
+	if v := softplus2(100, nvt); v != 100 {
+		t.Errorf("softplus2(100) = %g (overflow guard)", v)
+	}
+	if v := softplus2(-100, nvt); v <= 0 {
+		t.Errorf("softplus2(-100) = %g must stay positive", v)
+	}
+	// sqrtPos: smooth clamped sqrt.
+	if v := sqrtPos(4, 1e-3); math.Abs(v-2) > 1e-3 {
+		t.Errorf("sqrtPos(4) = %g", v)
+	}
+	if v := sqrtPos(-5, 1e-3); v <= 0 || v > 0.1 {
+		t.Errorf("sqrtPos(-5) = %g, want small positive", v)
+	}
+}

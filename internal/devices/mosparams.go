@@ -1,0 +1,168 @@
+package devices
+
+import "math"
+
+// MOSParams is the superset of model-card parameters used by the three
+// MOS models. Unset parameters keep SPICE-style defaults applied by
+// Normalize.
+type MOSParams struct {
+	Name string
+	Kind DeviceType // NMOS or PMOS
+
+	// Threshold / body effect.
+	VTO   float64 // zero-bias threshold (V, positive for both types)
+	Gamma float64 // body-effect coefficient (V^0.5)
+	Phi   float64 // surface potential (V)
+
+	// Transconductance.
+	KP  float64 // intrinsic transconductance (A/V²); 0 → derived from U0
+	U0  float64 // low-field mobility (cm²/V·s)
+	Tox float64 // oxide thickness (m)
+
+	// Second-order effects.
+	Lambda float64 // channel-length modulation (1/V) — Level 1
+	Theta  float64 // mobility degradation (1/V) — Level 3
+	Vmax   float64 // velocity saturation (m/s) — Level 3
+	Kappa  float64 // saturation-region slope — Level 3
+	Eta    float64 // static feedback on Vth — Level 3 / BSIM
+	K1     float64 // BSIM body effect, first order (V^0.5)
+	K2     float64 // BSIM body effect, second order
+	MobDeg float64 // BSIM gate-field mobility degradation (1/V)
+	PCLM   float64 // BSIM output-conductance (channel-length modulation)
+
+	// Subthreshold.
+	NSub float64 // subthreshold slope factor n (dimensionless, ≥ 1)
+
+	// Geometry adjustments.
+	LD float64 // lateral diffusion (m)
+
+	// Parasitic series resistance (Ω·m of width: R = RSH/W form kept
+	// simple: RDW/W).
+	RDW, RSW float64 // Ω·m; per-instance RD = RDW / W
+
+	// Capacitance.
+	CGSO, CGDO, CGBO float64 // overlap caps (F/m)
+	CJ               float64 // junction area cap (F/m²)
+	MJ               float64 // junction grading
+	CJSW             float64 // junction sidewall cap (F/m)
+	MJSW             float64 // sidewall grading
+	PB               float64 // junction potential (V)
+	DiffL            float64 // source/drain diffusion length (m)
+}
+
+// Normalize fills defaulted parameters in place and returns the receiver
+// for chaining.
+func (p *MOSParams) Normalize() *MOSParams {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&p.VTO, 0.8)
+	def(&p.Gamma, 0.4)
+	def(&p.Phi, 0.65)
+	def(&p.Tox, 40e-9)
+	if p.U0 == 0 {
+		if p.Kind == PMOS {
+			p.U0 = 250
+		} else {
+			p.U0 = 600
+		}
+	}
+	if p.KP == 0 {
+		p.KP = p.U0 * 1e-4 * p.Cox() // U0 in cm²/Vs → m²/Vs
+	}
+	def(&p.NSub, 1.4)
+	def(&p.PB, 0.8)
+	def(&p.MJ, 0.5)
+	def(&p.MJSW, 0.33)
+	def(&p.DiffL, 2.5e-6)
+	def(&p.Kappa, 0.04)
+	def(&p.PCLM, 0.04)
+	return p
+}
+
+// Cox returns the oxide capacitance per area (F/m²).
+func (p *MOSParams) Cox() float64 {
+	if p.Tox <= 0 {
+		return EpsOx / 40e-9
+	}
+	return EpsOx / p.Tox
+}
+
+// Leff returns the effective channel length for a drawn length.
+func (p *MOSParams) Leff(l float64) float64 {
+	le := l - 2*p.LD
+	if le < 50e-9 {
+		le = 50e-9
+	}
+	return le
+}
+
+// vthBody returns the body-effect threshold shift term
+// gamma·(sqrt(phi - vbs) - sqrt(phi)) with smooth clamping for forward
+// body bias.
+func (p *MOSParams) vthBody(vbs float64) float64 {
+	return p.Gamma * (sqrtPos(p.Phi-vbs, 1e-3) - math.Sqrt(p.Phi))
+}
+
+// meyerCaps computes the Meyer intrinsic gate capacitances plus overlap
+// and junction capacitances. It is shared by all MOS models.
+func (p *MOSParams) meyerCaps(b MOSBias, g MOSGeom, core MOSCore) MOSCaps {
+	m := g.Mult()
+	w := g.W * m
+	leff := p.Leff(g.L)
+	c0 := p.Cox() * w * leff
+
+	var cgs, cgd, cgb float64
+	vov := b.Vgs - core.Vth
+	switch {
+	case vov < -6*Vt: // accumulation / cutoff: gate sees the body
+		cgb = c0
+	case vov < 0: // weak inversion: interpolate bulk→channel
+		f := (vov + 6*Vt) / (6 * Vt) // 0..1
+		cgb = c0 * (1 - f)
+		cgs = 2.0 / 3.0 * c0 * f
+	case b.Vds >= core.Vdsat: // saturation
+		cgs = 2.0 / 3.0 * c0
+	default: // triode (Meyer)
+		vd := b.Vds
+		vsat := core.Vdsat
+		if vsat < 1e-9 {
+			vsat = 1e-9
+		}
+		x := vd / vsat // 0..1
+		den := 2 - x
+		cgs = 2.0 / 3.0 * c0 * (1 - ((1-x)/den)*((1-x)/den))
+		cgd = 2.0 / 3.0 * c0 * (1 - (1/den)*(1/den))
+	}
+	cgs += p.CGSO * w
+	cgd += p.CGDO * w
+	cgb += p.CGBO * leff * m
+
+	// Junction caps: reverse-biased in normal operation. Use the
+	// polarity-normalized reverse bias (vbd = vbs - vds, vbs; both
+	// negative when reverse biased).
+	ad := w * p.DiffL
+	pd := 2 * (w + p.DiffL)
+	cdb := junctionCap(p.CJ*ad+0, p.CJSW*pd, b.Vbs-b.Vds, p.PB, p.MJ, p.MJSW)
+	csb := junctionCap(p.CJ*ad+0, p.CJSW*pd, b.Vbs, p.PB, p.MJ, p.MJSW)
+	return MOSCaps{Cgs: cgs, Cgd: cgd, Cgb: cgb, Cdb: cdb, Csb: csb}
+}
+
+// junctionCap evaluates the graded-junction capacitance with the usual
+// linearization for forward bias beyond PB/2.
+func junctionCap(cj0, cjsw0, v, pb, mj, mjsw float64) float64 {
+	one := func(c0, m float64) float64 {
+		if c0 <= 0 {
+			return 0
+		}
+		if v < pb/2 {
+			return c0 / math.Pow(1-v/pb, m)
+		}
+		// Linearize above pb/2 (SPICE FC=0.5 style): C(pb/2) = c0·2^m.
+		f := math.Pow(2, m)
+		return c0 * f * (1 + m*(v-pb/2)/(pb/2))
+	}
+	return one(cj0, mj) + one(cjsw0, mjsw)
+}

@@ -1,0 +1,196 @@
+package devices
+
+import (
+	"fmt"
+	"strings"
+
+	"astrx/internal/circuit"
+)
+
+// FromModel converts a parsed .model card into an encapsulated evaluator.
+// MOS cards select the implementation via level (1, 3, or 4/BSIM); BJT
+// cards always build a Gummel-Poon model. The returned value is either a
+// MOSModel or a *BJTModel.
+func FromModel(mc *circuit.Model) (interface{}, error) {
+	switch strings.ToLower(mc.Type) {
+	case "nmos", "pmos":
+		kind := NMOS
+		if strings.ToLower(mc.Type) == "pmos" {
+			kind = PMOS
+		}
+		p := MOSParams{
+			Name:   mc.Name,
+			Kind:   kind,
+			VTO:    mc.P("vto", 0),
+			Gamma:  mc.P("gamma", 0),
+			Phi:    mc.P("phi", 0),
+			KP:     mc.P("kp", 0),
+			U0:     mc.P("u0", 0),
+			Tox:    mc.P("tox", 0),
+			Lambda: mc.P("lambda", 0),
+			Theta:  mc.P("theta", 0),
+			Vmax:   mc.P("vmax", 0),
+			Kappa:  mc.P("kappa", 0),
+			Eta:    mc.P("eta", 0),
+			K1:     mc.P("k1", 0),
+			K2:     mc.P("k2", 0),
+			MobDeg: mc.P("u1", 0),
+			PCLM:   mc.P("pclm", 0),
+			NSub:   mc.P("n", 0),
+			LD:     mc.P("ld", 0),
+			RDW:    mc.P("rdw", 0),
+			RSW:    mc.P("rsw", 0),
+			CGSO:   mc.P("cgso", 0),
+			CGDO:   mc.P("cgdo", 0),
+			CGBO:   mc.P("cgbo", 0),
+			CJ:     mc.P("cj", 0),
+			MJ:     mc.P("mj", 0),
+			CJSW:   mc.P("cjsw", 0),
+			MJSW:   mc.P("mjsw", 0),
+			PB:     mc.P("pb", 0),
+			DiffL:  mc.P("diffl", 0),
+		}
+		switch mc.Level {
+		case 0, 1:
+			return NewLevel1(p), nil
+		case 3:
+			return NewLevel3(p), nil
+		case 4:
+			return NewBSIM(p), nil
+		default:
+			return nil, fmt.Errorf("devices: unsupported MOS level %d in model %s", mc.Level, mc.Name)
+		}
+	case "npn", "pnp":
+		kind := NPN
+		if strings.ToLower(mc.Type) == "pnp" {
+			kind = PNP
+		}
+		p := BJTParams{
+			Name: mc.Name,
+			Kind: kind,
+			IS:   mc.P("is", 0),
+			BF:   mc.P("bf", 0),
+			BR:   mc.P("br", 0),
+			VAF:  mc.P("vaf", 0),
+			VAR:  mc.P("var", 0),
+			NF:   mc.P("nf", 0),
+			NR:   mc.P("nr", 0),
+			TF:   mc.P("tf", 0),
+			CJE:  mc.P("cje", 0),
+			VJE:  mc.P("vje", 0),
+			MJE:  mc.P("mje", 0),
+			CJC:  mc.P("cjc", 0),
+			VJC:  mc.P("vjc", 0),
+			MJC:  mc.P("mjc", 0),
+		}
+		return NewBJT(p), nil
+	}
+	return nil, fmt.Errorf("devices: unknown model type %q in model %s", mc.Type, mc.Name)
+}
+
+// Library returns the builtin model cards for a named process, for use
+// with the deck-level `.lib` card. Available processes:
+//
+//	c2u    — a 2µ CMOS process (tox 40 nm): nmos1/pmos1, nmos3/pmos3,
+//	         nbsim/pbsim
+//	c1.2u  — a 1.2µ CMOS process (tox 25 nm): same model names
+//	bicmos — c2u plus npn/pnp Gummel-Poon devices
+//
+// The parameter values are synthetic but physically plausible stand-ins
+// for the proprietary decks the paper used (see DESIGN.md §4); what the
+// experiments rely on is that the three MOS models disagree in realistic
+// ways and that the two processes differ in threshold, tox, and caps.
+func Library(process string) (map[string]*circuit.Model, error) {
+	switch strings.ToLower(process) {
+	case "c2u":
+		return cmosLibrary(2.0), nil
+	case "c1.2u", "c1p2u":
+		return cmosLibrary(1.2), nil
+	case "bicmos":
+		lib := cmosLibrary(2.0)
+		for k, v := range bjtLibrary() {
+			lib[k] = v
+		}
+		return lib, nil
+	}
+	return nil, fmt.Errorf("devices: unknown process library %q", process)
+}
+
+// cmosLibrary builds the model set for a CMOS process with the given
+// drawn feature size in µm (2.0 or 1.2).
+func cmosLibrary(feature float64) map[string]*circuit.Model {
+	// Process scaling: thinner oxide, lower VTO, higher caps at 1.2µ.
+	tox := 40e-9
+	vton, vtop := 0.80, 0.90
+	ld := 0.25e-6
+	cj := 2.4e-4
+	cjsw := 3.0e-10
+	etaScale := 1.0
+	if feature < 1.5 {
+		tox = 25e-9
+		vton, vtop = 0.70, 0.85
+		ld = 0.15e-6
+		cj = 3.2e-4
+		cjsw = 3.5e-10
+		etaScale = 0.45 // same sigma-ish despite the L³ in the formula
+	}
+	cox := EpsOx / tox
+	cgso := 0.6 * cox * ld // overlap ~ Cox·LD with fringing factor
+
+	base := func(name string, kind string, level int, extra map[string]float64) *circuit.Model {
+		p := map[string]float64{
+			"tox": tox, "ld": ld,
+			"cgso": cgso, "cgdo": cgso,
+			"cj": cj, "cjsw": cjsw, "pb": 0.8, "mj": 0.5, "mjsw": 0.33,
+			"rdw": 8e-4, "rsw": 8e-4,
+			"diffl": feature * 1.25e-6,
+		}
+		for k, v := range extra {
+			p[k] = v
+		}
+		return &circuit.Model{Name: name, Type: kind, Level: level, Params: p}
+	}
+
+	lib := map[string]*circuit.Model{
+		"nmos1": base("nmos1", "nmos", 1, map[string]float64{
+			"vto": vton, "u0": 620, "gamma": 0.45, "phi": 0.66,
+			"lambda": 0.04 * 2.0 / feature,
+		}),
+		"pmos1": base("pmos1", "pmos", 1, map[string]float64{
+			"vto": vtop, "u0": 240, "gamma": 0.55, "phi": 0.62,
+			"lambda": 0.05 * 2.0 / feature,
+		}),
+		"nmos3": base("nmos3", "nmos", 3, map[string]float64{
+			"vto": vton, "u0": 620, "gamma": 0.45, "phi": 0.66,
+			"theta": 0.055, "vmax": 1.6e5, "kappa": 0.05, "eta": 0.25 * etaScale,
+		}),
+		"pmos3": base("pmos3", "pmos", 3, map[string]float64{
+			"vto": vtop, "u0": 240, "gamma": 0.55, "phi": 0.62,
+			"theta": 0.09, "vmax": 9e4, "kappa": 0.06, "eta": 0.18 * etaScale,
+		}),
+		"nbsim": base("nbsim", "nmos", 4, map[string]float64{
+			"vto": vton + 0.03, "u0": 570, "gamma": 0.45, "phi": 0.66,
+			"k1": 0.52, "k2": 0.03, "u1": 0.13, "pclm": 0.05, "eta": 0.015,
+		}),
+		"pbsim": base("pbsim", "pmos", 4, map[string]float64{
+			"vto": vtop + 0.02, "u0": 215, "gamma": 0.55, "phi": 0.62,
+			"k1": 0.62, "k2": 0.035, "u1": 0.16, "pclm": 0.06, "eta": 0.012,
+		}),
+	}
+	return lib
+}
+
+func bjtLibrary() map[string]*circuit.Model {
+	return map[string]*circuit.Model{
+		"npn": {Name: "npn", Type: "npn", Params: map[string]float64{
+			"is": 5e-16, "bf": 120, "br": 2, "vaf": 60, "tf": 20e-12,
+			"cje": 60e-15, "cjc": 40e-15, "vje": 0.75, "vjc": 0.70,
+			"mje": 0.33, "mjc": 0.4,
+		}},
+		"pnp": {Name: "pnp", Type: "pnp", Params: map[string]float64{
+			"is": 2e-16, "bf": 50, "br": 1.5, "vaf": 40, "tf": 40e-12,
+			"cje": 80e-15, "cjc": 60e-15, "vje": 0.75, "vjc": 0.70,
+			"mje": 0.33, "mjc": 0.4,
+		}},
+	}
+}

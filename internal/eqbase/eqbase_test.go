@@ -1,0 +1,78 @@
+package eqbase
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtractSquareLaw(t *testing.T) {
+	p, err := ExtractSquareLaw("c2u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.KPn <= p.KPp {
+		t.Errorf("KPn (%g) should exceed KPp (%g)", p.KPn, p.KPp)
+	}
+	if p.VTn <= 0 || p.VTp <= 0 {
+		t.Error("thresholds must be positive (magnitude convention)")
+	}
+	if _, err := ExtractSquareLaw("nosuch"); err == nil {
+		t.Error("unknown library must error")
+	}
+}
+
+func TestDesignOTAEquations(t *testing.T) {
+	p, _ := ExtractSquareLaw("c2u")
+	d, err := DesignOTA(Targets{GBWHz: 10e6, SR: 10e6, CL: 1e-12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The procedure honors its own equations.
+	gm1 := 2 * math.Pi * 10e6 * 1e-12
+	wl1 := d.W1 / d.L1
+	id1 := d.Ib / 2
+	gmCheck := math.Sqrt(2 * p.KPn * wl1 * id1)
+	if math.Abs(gmCheck-gm1)/gm1 > 0.05 {
+		t.Errorf("pair sizing inconsistent: gm = %g, want %g", gmCheck, gm1)
+	}
+	if math.Abs(d.PredGBWHz-10e6) > 1 {
+		t.Errorf("PredGBW = %g", d.PredGBWHz)
+	}
+	if d.PredPM != 90 {
+		t.Errorf("PredPM = %g — the single-pole assumption is the point", d.PredPM)
+	}
+	if d.PredSR < 10e6*0.99 {
+		t.Errorf("PredSR = %g", d.PredSR)
+	}
+	// Errors.
+	if _, err := DesignOTA(Targets{}, p); err == nil {
+		t.Error("zero targets must error")
+	}
+}
+
+func TestEquationPredictionsDivergeFromSimulation(t *testing.T) {
+	// The Fig. 3 story: square-law predictions on a short-channel
+	// process are substantially wrong, while (tested elsewhere) the
+	// AWE-based flow matches simulation almost exactly.
+	p, _ := ExtractSquareLaw("c2u")
+	d, err := DesignOTA(Targets{GBWHz: 20e6, SR: 15e6, CL: 1e-12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The circuit must at least function as an amplifier…
+	if ev.SimGainDB < 10 {
+		t.Fatalf("equation-based design is dead: gain %g dB", ev.SimGainDB)
+	}
+	// …but the predictions should be off by at least several percent
+	// worst-case (the paper's prior-work cluster sits at 10–200%).
+	if ev.WorstErr < 0.05 {
+		t.Errorf("worst prediction error = %.1f%% — square law should not be this good on Level 3 models", ev.WorstErr*100)
+	}
+	if ev.WorstErr > 5 {
+		t.Errorf("worst prediction error = %.0f%% — implausibly broken", ev.WorstErr*100)
+	}
+}

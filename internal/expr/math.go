@@ -1,0 +1,16 @@
+package expr
+
+import "math"
+
+// Indirections for the math stdlib keep parse.go's function table terse.
+var (
+	mathAbs   = math.Abs
+	mathExp   = math.Exp
+	mathPow   = math.Pow
+	mathSqrt  = math.Sqrt
+	mathLog   = math.Log
+	mathLog10 = math.Log10
+	mathAtan  = math.Atan
+	mathFloor = math.Floor
+	mathCeil  = math.Ceil
+)

@@ -1,0 +1,394 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an expression string into an AST.
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	node, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("expr: unexpected trailing token %q in %q", p.toks[p.pos].text, src)
+	}
+	return node, nil
+}
+
+// MustParse is Parse that panics on error, for use with literals in
+// tests and built-in circuit decks.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokKind int
+
+const (
+	tokNum tokKind = iota
+	tokIdent
+	tokOp   // + - * / ^ ( ) ,
+	tokEOF_ // unused sentinel
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  float64
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	// Dotted paths (xamp.m1.gm) and SPICE-ish names with + - are common
+	// in node references; we allow letters, digits, '_', '.', and also
+	// '+'/'-' only when they directly extend a name like "out+" — handled
+	// in the lexer body, not here.
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r >= '0' && r <= '9' || r == '.' && i+1 < len(rs) && rs[i+1] >= '0' && rs[i+1] <= '9':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '.') {
+				// Allow exponent sign: 1e-9
+				if (rs[j] == 'e' || rs[j] == 'E') && j+1 < len(rs) && (rs[j+1] == '+' || rs[j+1] == '-') && j+2 < len(rs) && unicode.IsDigit(rs[j+2]) {
+					j += 2
+				}
+				j++
+			}
+			text := string(rs[i:j])
+			v, err := ParseNumber(text)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNum, text: text, val: v})
+			i = j
+		case isIdentStart(r):
+			j := i
+			for j < len(rs) && isIdentPart(rs[j]) {
+				j++
+			}
+			// Node names such as out+ / in- are permitted: a trailing
+			// +/- is folded into the identifier when it is NOT followed
+			// by something that could continue an expression operand.
+			for j < len(rs) && (rs[j] == '+' || rs[j] == '-') {
+				k := j + 1
+				for k < len(rs) && unicode.IsSpace(rs[k]) {
+					k++
+				}
+				if k < len(rs) && (unicode.IsDigit(rs[k]) || isIdentStart(rs[k]) || rs[k] == '(' || rs[k] == '.') {
+					break // it's a binary operator
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(rs[i:j])})
+			i = j
+		case strings.ContainsRune("+-*/^(),", r):
+			toks = append(toks, token{kind: tokOp, text: string(r)})
+			i++
+		default:
+			return nil, fmt.Errorf("expr: unexpected character %q in %q", r, src)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func binPrec(op string) int {
+	switch op {
+	case "+", "-":
+		return 1
+	case "*", "/":
+		return 2
+	case "^":
+		return 3
+	}
+	return 0
+}
+
+// parseExpr is a Pratt/precedence-climbing expression parser.
+func (p *parser) parseExpr(minPrec int) (Node, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp {
+			return lhs, nil
+		}
+		prec := binPrec(t.text)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		// '^' is right-associative, others left.
+		nextMin := prec + 1
+		if t.text == "^" {
+			nextMin = prec
+		}
+		rhs, err := p.parseExpr(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: rune(t.text[0]), L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	t, ok := p.peek()
+	if ok && t.kind == tokOp && (t.text == "-" || t.text == "+") {
+		p.pos++
+		// Unary minus binds looser than '^' (so -2^2 == -(2^2)) but
+		// tighter than * and /: parse the operand at '^' precedence.
+		x, err := p.parseExpr(binPrec("^"))
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: rune(t.text[0]), X: x}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	t, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("expr: unexpected end of expression in %q", p.src)
+	}
+	switch t.kind {
+	case tokNum:
+		return &Num{V: t.val}, nil
+	case tokIdent:
+		// Function call?
+		if nt, ok2 := p.peek(); ok2 && nt.kind == tokOp && nt.text == "(" {
+			p.pos++
+			call := &Call{Fn: strings.ToLower(t.text)}
+			// Empty arg list?
+			if ct, ok3 := p.peek(); ok3 && ct.kind == tokOp && ct.text == ")" {
+				p.pos++
+				return call, nil
+			}
+			for {
+				arg, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				ct, ok3 := p.next()
+				if !ok3 {
+					return nil, fmt.Errorf("expr: unterminated call to %s in %q", call.Fn, p.src)
+				}
+				if ct.text == ")" {
+					return call, nil
+				}
+				if ct.text != "," {
+					return nil, fmt.Errorf("expr: expected ',' or ')' in call to %s, got %q", call.Fn, ct.text)
+				}
+			}
+		}
+		return &Var{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			inner, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			ct, ok2 := p.next()
+			if !ok2 || ct.text != ")" {
+				return nil, fmt.Errorf("expr: missing ')' in %q", p.src)
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q in %q", t.text, p.src)
+}
+
+// ---------------------------------------------------------------------------
+// Base environment with standard math functions.
+
+// MathCall implements the numeric built-in functions shared by every
+// evaluation environment: min, max, abs, sqrt, log, log10, exp, pow, db,
+// atan, floor, ceil. It returns (0, err) for unknown functions so callers
+// can layer their own dispatch on top.
+func MathCall(fn string, args []Arg) (float64, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("expr: %s expects %d argument(s), got %d", fn, n, len(args))
+		}
+		return nil
+	}
+	switch fn {
+	case "min":
+		if len(args) < 1 {
+			return 0, fmt.Errorf("expr: min needs at least one argument")
+		}
+		m := args[0].Value
+		for _, a := range args[1:] {
+			if a.Value < m {
+				m = a.Value
+			}
+		}
+		return m, nil
+	case "max":
+		if len(args) < 1 {
+			return 0, fmt.Errorf("expr: max needs at least one argument")
+		}
+		m := args[0].Value
+		for _, a := range args[1:] {
+			if a.Value > m {
+				m = a.Value
+			}
+		}
+		return m, nil
+	case "abs":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return abs(args[0].Value), nil
+	case "sqrt":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return sqrt(args[0].Value)
+	case "log":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return logE(args[0].Value)
+	case "log10":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return log10(args[0].Value)
+	case "exp":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return expF(args[0].Value), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return powF(args[0].Value, args[1].Value), nil
+	case "db":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		// Floor the magnitude so db(0) = -600 dB instead of a domain
+		// error: synthesis cost functions must remain evaluatable for
+		// dead circuits.
+		mag := abs(args[0].Value)
+		if mag < 1e-30 {
+			mag = 1e-30
+		}
+		v, err := log10(mag)
+		if err != nil {
+			return 0, err
+		}
+		return 20 * v, nil
+	case "atan":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return atanF(args[0].Value), nil
+	case "floor":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return floorF(args[0].Value), nil
+	case "ceil":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return ceilF(args[0].Value), nil
+	}
+	return 0, fmt.Errorf("expr: unknown function %q", fn)
+}
+
+// Tiny wrappers keep MathCall readable while guarding domain errors.
+func abs(x float64) float64  { return mathAbs(x) }
+func expF(x float64) float64 { return mathExp(x) }
+func powF(x, y float64) float64 {
+	return mathPow(x, y)
+}
+func atanF(x float64) float64  { return mathAtan(x) }
+func floorF(x float64) float64 { return mathFloor(x) }
+func ceilF(x float64) float64  { return mathCeil(x) }
+
+func sqrt(x float64) (float64, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("expr: sqrt of negative value %g", x)
+	}
+	return mathSqrt(x), nil
+}
+
+func logE(x float64) (float64, error) {
+	if x <= 0 {
+		return 0, fmt.Errorf("expr: log of non-positive value %g", x)
+	}
+	return mathLog(x), nil
+}
+
+func log10(x float64) (float64, error) {
+	if x <= 0 {
+		return 0, fmt.Errorf("expr: log10 of non-positive value %g", x)
+	}
+	return mathLog10(x), nil
+}
+
+// MapEnv is a simple Env backed by a variable map, with MathCall
+// functions. It is handy in tests and for element-value evaluation.
+type MapEnv map[string]float64
+
+// Var looks the name up in the map.
+func (m MapEnv) Var(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Call dispatches to the shared math built-ins.
+func (m MapEnv) Call(fn string, args []Arg) (float64, error) {
+	return MathCall(fn, args)
+}

@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CMatrix is a dense, row-major complex matrix, used for direct AC
+// analysis where the MNA system is (G + jωC).
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed r×c complex matrix.
+func NewCMatrix(r, c int) *CMatrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &CMatrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns the element at row i, column j.
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to the element at row i, column j.
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets every element without reallocating.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CLU is an LU factorization with partial pivoting of a square complex
+// matrix.
+type CLU struct {
+	n     int
+	lu    []complex128
+	pivot []int
+}
+
+// FactorCLU factors the square complex matrix a; a is not modified.
+func FactorCLU(a *CMatrix) (*CLU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: FactorCLU requires a square matrix")
+	}
+	n := a.Rows
+	f := &CLU{n: n, lu: make([]complex128, n*n), pivot: make([]int, n)}
+	copy(f.lu, a.Data)
+
+	for k := 0; k < n; k++ {
+		p, big := k, 0.0
+		for i := k; i < n; i++ {
+			if v := cmplx.Abs(f.lu[i*n+k]); v > big {
+				big, p = v, i
+			}
+		}
+		if big < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := f.lu[k*n : k*n+n]
+			rp := f.lu[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		f.pivot[k] = p
+		inv := 1 / f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] * inv
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			rowi := f.lu[i*n+k+1 : i*n+n]
+			rowk := f.lu[k*n+k+1 : k*n+n]
+			for j := range rowi {
+				rowi[j] -= l * rowk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b; the result is freshly allocated.
+func (f *CLU) Solve(b []complex128) []complex128 {
+	if len(b) != f.n {
+		panic("linalg: CLU.Solve dimension mismatch")
+	}
+	x := make([]complex128, f.n)
+	copy(x, b)
+	f.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace solves A·x = b overwriting b with x.
+func (f *CLU) SolveInPlace(b []complex128) {
+	n := f.n
+	// Full row permutation first, then forward substitution (see the
+	// real-valued LU for why the two loops must not be interleaved).
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	for k := 0; k < n; k++ {
+		bk := b[k]
+		if bk == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			b[i] -= f.lu[i*n+k] * bk
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := f.lu[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+}
+
+// PolyRoots finds all complex roots of the polynomial
+//
+//	c[0] + c[1]·x + c[2]·x² + … + c[n]·xⁿ
+//
+// using the Durand–Kerner (Weierstrass) simultaneous iteration, which is
+// robust for the modest degrees (q ≤ 10) that AWE Padé reduction needs.
+// Leading zero coefficients are trimmed. It returns an error when the
+// iteration fails to converge.
+func PolyRoots(c []complex128) ([]complex128, error) {
+	// Trim leading (highest-degree) zeros.
+	deg := len(c) - 1
+	for deg > 0 && c[deg] == 0 {
+		deg--
+	}
+	if deg <= 0 {
+		return nil, fmt.Errorf("linalg: PolyRoots degree %d polynomial has no roots", deg)
+	}
+	// Normalize to monic to improve conditioning.
+	coef := make([]complex128, deg+1)
+	lead := c[deg]
+	for i := 0; i <= deg; i++ {
+		coef[i] = c[i] / lead
+	}
+
+	// Initial guesses: points on a circle whose radius follows the
+	// Cauchy bound, rotated off the axes.
+	radius := 0.0
+	for i := 0; i < deg; i++ {
+		if v := cmplx.Abs(coef[i]); v > radius {
+			radius = v
+		}
+	}
+	radius = 1 + radius
+	roots := make([]complex128, deg)
+	for i := range roots {
+		theta := 2*math.Pi*float64(i)/float64(deg) + 0.4
+		roots[i] = cmplx.Rect(radius*0.7, theta)
+	}
+
+	eval := func(x complex128) complex128 {
+		// Horner on the monic polynomial.
+		s := complex128(1)
+		for i := deg - 1; i >= 0; i-- {
+			s = s*x + coef[i]
+		}
+		return s
+	}
+
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			num := eval(roots[i])
+			den := complex128(1)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident guesses.
+				roots[i] += complex(1e-8, 1e-8)
+				continue
+			}
+			step := num / den
+			roots[i] -= step
+			if a := cmplx.Abs(step); a > maxStep {
+				maxStep = a
+			}
+		}
+		scale := 1.0
+		for _, r := range roots {
+			if a := cmplx.Abs(r); a > scale {
+				scale = a
+			}
+		}
+		if maxStep < 1e-13*scale {
+			return roots, nil
+		}
+	}
+	return roots, fmt.Errorf("linalg: PolyRoots failed to converge for degree %d", deg)
+}
+
+// PolyEval evaluates the polynomial c[0] + c[1]x + … at x.
+func PolyEval(c []complex128, x complex128) complex128 {
+	s := complex128(0)
+	for i := len(c) - 1; i >= 0; i-- {
+		s = s*x + c[i]
+	}
+	return s
+}

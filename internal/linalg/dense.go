@@ -1,0 +1,259 @@
+// Package linalg provides the small dense linear-algebra kernel that the
+// rest of the system builds on: real and complex dense matrices, LU
+// factorization with partial pivoting, linear solves, and a polynomial
+// root finder used by the AWE Padé step.
+//
+// Everything is written against the standard library only. Matrices are
+// dense and row-major; the circuits in this reproduction have at most a
+// few hundred MNA rows, for which dense LU is faster than a pointer-heavy
+// sparse code and much simpler (see DESIGN.md §4).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters an
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to the element at row i, column j (the natural operation for
+// MNA stamping).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets every element to 0 without reallocating.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = m·x. The result slice is freshly allocated.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d vec", m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecInto computes dst = m·x without allocating; dst must have length
+// m.Rows and must not alias x.
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("linalg: MulVecInto dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("% .4e ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU is an in-place LU factorization with partial pivoting of a square
+// real matrix: P·A = L·U. L has implicit unit diagonal.
+type LU struct {
+	n     int
+	lu    []float64 // packed L\U factors, row-major
+	pivot []int     // row permutation
+	sign  float64   // determinant sign from row swaps
+}
+
+// FactorLU computes the LU factorization of the square matrix a. The
+// input matrix is not modified. It returns ErrSingular when a pivot
+// underflows a scaled tolerance.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: FactorLU requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), pivot: make([]int, n), sign: 1}
+	copy(f.lu, a.Data)
+
+	// Row scaling factors for implicit equilibration in pivot choice.
+	scale := make([]float64, n)
+	for i := 0; i < n; i++ {
+		big := 0.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(f.lu[i*n+j]); v > big {
+				big = v
+			}
+		}
+		if big == 0 {
+			return nil, ErrSingular
+		}
+		scale[i] = 1 / big
+	}
+
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p, big := k, 0.0
+		for i := k; i < n; i++ {
+			v := scale[i] * math.Abs(f.lu[i*n+k])
+			if v > big {
+				big, p = v, i
+			}
+		}
+		if p != k {
+			rk := f.lu[k*n : k*n+n]
+			rp := f.lu[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			scale[k], scale[p] = scale[p], scale[k]
+			f.sign = -f.sign
+		}
+		f.pivot[k] = p
+		piv := f.lu[k*n+k]
+		if math.Abs(piv) < 1e-300 {
+			return nil, ErrSingular
+		}
+		inv := 1 / piv
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] * inv
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			rowi := f.lu[i*n+k+1 : i*n+n]
+			rowk := f.lu[k*n+k+1 : k*n+n]
+			for j := range rowi {
+				rowi[j] -= l * rowk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization, overwriting nothing; the
+// result is freshly allocated.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	x := make([]float64, f.n)
+	copy(x, b)
+	f.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace solves A·x = b with b overwritten by x. This is the hot
+// path for AWE moment recursion, so it avoids all allocation.
+func (f *LU) SolveInPlace(b []float64) {
+	n := f.n
+	// Apply the full row permutation first (LAPACK dgetrs order), then
+	// forward-substitute against the unit-lower factor.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	for k := 0; k < n; k++ {
+		bk := b[k]
+		if bk == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			b[i] -= f.lu[i*n+k] * bk
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := f.lu[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveLinear is a convenience that factors a and solves a·x = b.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// VecNormInf returns the infinity norm of v.
+func VecNormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Vec2Norm returns the Euclidean norm of v.
+func Vec2Norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,298 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, -4.5)
+	m.Add(1, 2, 0.5)
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := m.At(1, 2); got != -4 {
+		t.Errorf("At(1,2) = %v, want -4", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares backing storage with original")
+	}
+	m.Zero()
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Zero left element %d = %v", i, v)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y := m.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+}
+
+func TestMulVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec with wrong length did not panic")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]float64{1})
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorLU(a); err == nil {
+		t.Error("FactorLU on singular matrix returned nil error")
+	}
+	z := NewMatrix(3, 3) // all-zero row triggers the scaling check
+	if _, err := FactorLU(z); err == nil {
+		t.Error("FactorLU on zero matrix returned nil error")
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-24) > 1e-12 {
+		t.Errorf("Det = %v, want 24", d)
+	}
+	// Swap two rows: determinant flips sign.
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 3)
+	a.Set(1, 1, 0)
+	a.Set(1, 0, 2)
+	f, err = FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d+24) > 1e-12 {
+		t.Errorf("Det after row swap = %v, want -24", d)
+	}
+}
+
+// randomDiagDominant builds a random strictly diagonally dominant matrix,
+// which is guaranteed nonsingular — ideal for property tests.
+func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+		}
+		a.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return a
+}
+
+// Property: for any diagonally dominant A and any x, Solve(A, A·x)
+// recovers x to high relative accuracy.
+func TestLUSolveRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		r := rand.New(rand.NewSource(seed))
+		a := randomDiagDominant(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		b := a.MulVec(x)
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		scale := VecNormInf(x) + 1
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8*scale {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(P·A) where a row permutation is applied only changes sign.
+func TestLUSolveMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(15) + 2
+		a := randomDiagDominant(rng, n)
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := f.Solve(b)
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-9*(VecNormInf(b)+1) {
+				t.Fatalf("trial %d: residual %v at row %d", trial, back[i]-b[i], i)
+			}
+		}
+	}
+}
+
+func TestSolveInPlaceNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDiagDominant(rng, 30)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		f.SolveInPlace(b)
+	})
+	if allocs != 0 {
+		t.Errorf("SolveInPlace allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestVecNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if n := Vec2Norm(v); math.Abs(n-5) > 1e-15 {
+		t.Errorf("Vec2Norm = %v, want 5", n)
+	}
+	if n := VecNormInf(v); n != 4 {
+		t.Errorf("VecNormInf = %v, want 4", n)
+	}
+	if n := VecNormInf(nil); n != 0 {
+		t.Errorf("VecNormInf(nil) = %v, want 0", n)
+	}
+}
+
+// Regression: matrices that force row pivoting (zero diagonals) exposed a
+// bug where permutation swaps were interleaved with forward elimination.
+func TestLUPivotHeavy(t *testing.T) {
+	a := NewMatrix(4, 4)
+	rows := [][]float64{
+		{0, 0, 1, 0},
+		{0, 1e-3, 0, 1},
+		{1, 0, 0, 0},
+		{-5, 1, 0, 0},
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			a.Set(i, j, rows[i][j])
+		}
+	}
+	x, err := SolveLinear(a, []float64{0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 5, 0, -5e-3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+// Property: residual check on fully random (not diagonally dominant)
+// matrices, which exercise pivoting aggressively.
+func TestLURandomGeneralResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(25) + 2
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Zero a few entries (including diagonals) to force permutations.
+		for z := 0; z < n/2; z++ {
+			a.Set(rng.Intn(n), rng.Intn(n), 0)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		f, err := FactorLU(a)
+		if err != nil {
+			continue // singular by chance; skip
+		}
+		x := f.Solve(b)
+		r := a.MulVec(x)
+		for i := range b {
+			if math.Abs(r[i]-b[i]) > 1e-7 {
+				t.Fatalf("trial %d: residual %g at row %d (n=%d)", trial, r[i]-b[i], i, n)
+			}
+		}
+	}
+}
+
+func TestMulVecInto(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	dst := make([]float64, 2)
+	m.MulVecInto(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Errorf("MulVecInto = %v", dst)
+	}
+	allocs := testing.AllocsPerRun(50, func() { m.MulVecInto(dst, []float64{1, 1}) })
+	_ = allocs // the literal slice allocates; the method itself must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch must panic")
+		}
+	}()
+	m.MulVecInto(dst, []float64{1})
+}

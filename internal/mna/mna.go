@@ -1,0 +1,240 @@
+// Package mna builds Modified Nodal Analysis systems from flat linear
+// netlists. The result is the pair of real matrices (G, C) and excitation
+// vectors such that the Laplace-domain circuit equations are
+//
+//	(G + s·C) · x(s) = b·u(s)
+//
+// where x stacks node voltages and branch currents (for voltage sources,
+// controlled voltage sources, and inductors). Both AWE (package awe) and
+// the direct AC sweep (package acsim) consume this system; the ASTRX
+// compiler produces the linear netlists by replacing every nonlinear
+// device with its small-signal model at the candidate bias point.
+package mna
+
+import (
+	"fmt"
+
+	"astrx/internal/circuit"
+	"astrx/internal/expr"
+	"astrx/internal/linalg"
+)
+
+// System is an assembled MNA system.
+type System struct {
+	// Size is the total unknown count: node voltages then branch currents.
+	Size int
+	// NumNodes is the number of non-ground node voltages.
+	NumNodes int
+	// G and C are the conductance and susceptance matrices.
+	G, C *linalg.Matrix
+
+	net      *circuit.Netlist
+	branches map[string]int // element name -> branch row index
+}
+
+// Build assembles the MNA system for a flat linear netlist. Element
+// values are evaluated against env (so they may reference design
+// variables). Nonlinear elements (M, Q) are rejected: callers must
+// linearize devices first.
+func Build(nl *circuit.Netlist, env expr.Env) (*System, error) {
+	if nl.NumNodes() == 0 {
+		nl.BuildIndex()
+	}
+	s := &System{net: nl, NumNodes: nl.NumNodes(), branches: make(map[string]int)}
+
+	// First pass: allocate branch rows for elements that add a current
+	// unknown.
+	next := s.NumNodes
+	for _, e := range nl.Elements {
+		switch e.Kind {
+		case circuit.KindV, circuit.KindE, circuit.KindH, circuit.KindL:
+			s.branches[e.Name] = next
+			next++
+		case circuit.KindM, circuit.KindQ:
+			return nil, fmt.Errorf("mna: nonlinear element %s (%v) in linear netlist", e.Name, e.Kind)
+		case circuit.KindX:
+			return nil, fmt.Errorf("mna: unflattened instance %s", e.Name)
+		}
+	}
+	s.Size = next
+	s.G = linalg.NewMatrix(s.Size, s.Size)
+	s.C = linalg.NewMatrix(s.Size, s.Size)
+
+	idx := func(node string) (int, error) {
+		i, ok := nl.NodeIndex(node)
+		if !ok {
+			return 0, fmt.Errorf("mna: unknown node %q", node)
+		}
+		return i, nil
+	}
+	// add stamps v into m[i][j], skipping ground rows/cols (index -1).
+	add := func(m *linalg.Matrix, i, j int, v float64) {
+		if i >= 0 && j >= 0 {
+			m.Add(i, j, v)
+		}
+	}
+
+	for _, e := range nl.Elements {
+		var n [4]int
+		for k, nd := range e.Nodes {
+			i, err := idx(nd)
+			if err != nil {
+				return nil, fmt.Errorf("%v (element %s)", err, e.Name)
+			}
+			n[k] = i
+		}
+		switch e.Kind {
+		case circuit.KindR:
+			r, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			if r == 0 {
+				return nil, fmt.Errorf("mna: resistor %s has zero resistance", e.Name)
+			}
+			g := 1 / r
+			add(s.G, n[0], n[0], g)
+			add(s.G, n[1], n[1], g)
+			add(s.G, n[0], n[1], -g)
+			add(s.G, n[1], n[0], -g)
+
+		case circuit.KindC:
+			c, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			add(s.C, n[0], n[0], c)
+			add(s.C, n[1], n[1], c)
+			add(s.C, n[0], n[1], -c)
+			add(s.C, n[1], n[0], -c)
+
+		case circuit.KindL:
+			l, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			br := s.branches[e.Name]
+			add(s.G, n[0], br, 1)
+			add(s.G, n[1], br, -1)
+			add(s.G, br, n[0], 1)
+			add(s.G, br, n[1], -1)
+			s.C.Add(br, br, -l)
+
+		case circuit.KindV:
+			br := s.branches[e.Name]
+			add(s.G, n[0], br, 1)
+			add(s.G, n[1], br, -1)
+			add(s.G, br, n[0], 1)
+			add(s.G, br, n[1], -1)
+			// RHS contribution handled by InputVector.
+
+		case circuit.KindI:
+			// RHS contribution handled by InputVector.
+
+		case circuit.KindG: // VCCS: i(out+→out-) = gm (v(c+) - v(c-))
+			gm, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			add(s.G, n[0], n[2], gm)
+			add(s.G, n[0], n[3], -gm)
+			add(s.G, n[1], n[2], -gm)
+			add(s.G, n[1], n[3], gm)
+
+		case circuit.KindE: // VCVS: v(a)-v(b) = A (v(c+)-v(c-))
+			a, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			br := s.branches[e.Name]
+			add(s.G, n[0], br, 1)
+			add(s.G, n[1], br, -1)
+			add(s.G, br, n[0], 1)
+			add(s.G, br, n[1], -1)
+			add(s.G, br, n[2], -a)
+			add(s.G, br, n[3], a)
+
+		case circuit.KindF: // CCCS: i = F · i(ctrl V source)
+			f, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			cb, ok := s.branches[e.CtrlName]
+			if !ok {
+				return nil, fmt.Errorf("mna: element %s controls by unknown source %q", e.Name, e.CtrlName)
+			}
+			add(s.G, n[0], cb, f)
+			add(s.G, n[1], cb, -f)
+
+		case circuit.KindH: // CCVS: v(a)-v(b) = H · i(ctrl V source)
+			h, err := e.EvalValue(env)
+			if err != nil {
+				return nil, err
+			}
+			cb, ok := s.branches[e.CtrlName]
+			if !ok {
+				return nil, fmt.Errorf("mna: element %s controls by unknown source %q", e.Name, e.CtrlName)
+			}
+			br := s.branches[e.Name]
+			add(s.G, n[0], br, 1)
+			add(s.G, n[1], br, -1)
+			add(s.G, br, n[0], 1)
+			add(s.G, br, n[1], -1)
+			s.G.Add(br, cb, -h)
+		}
+	}
+	return s, nil
+}
+
+// InputVector builds the excitation vector b for the named independent
+// source, scaled by the source's AC magnitude (or 1.0 when the magnitude
+// is unset). For AC/AWE analysis every other independent source is dead
+// (superposition), which the caller gets for free because b only excites
+// this source.
+func (s *System) InputVector(srcName string) ([]float64, error) {
+	e := s.net.Element(srcName)
+	if e == nil {
+		return nil, fmt.Errorf("mna: unknown input source %q", srcName)
+	}
+	mag := e.ACMag
+	if mag == 0 {
+		mag = 1
+	}
+	b := make([]float64, s.Size)
+	switch e.Kind {
+	case circuit.KindV:
+		b[s.branches[e.Name]] = mag
+	case circuit.KindI:
+		// Source current flows from node[0] through the source to
+		// node[1]: it leaves node 0 and enters node 1.
+		if i, _ := s.net.NodeIndex(e.Nodes[0]); i >= 0 {
+			b[i] -= mag
+		}
+		if i, _ := s.net.NodeIndex(e.Nodes[1]); i >= 0 {
+			b[i] += mag
+		}
+	default:
+		return nil, fmt.Errorf("mna: element %s (%v) is not an independent source", srcName, e.Kind)
+	}
+	return b, nil
+}
+
+// NodeUnknown returns the unknown index carrying the voltage of the named
+// node; ok is false for ground or unknown nodes.
+func (s *System) NodeUnknown(node string) (int, bool) {
+	i, ok := s.net.NodeIndex(node)
+	if !ok || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// BranchUnknown returns the unknown index carrying the branch current of
+// the named element (V, E, H, or L elements only).
+func (s *System) BranchUnknown(elem string) (int, bool) {
+	i, ok := s.branches[elem]
+	return i, ok
+}
+
+// Netlist returns the netlist the system was built from.
+func (s *System) Netlist() *circuit.Netlist { return s.net }

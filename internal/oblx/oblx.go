@@ -1,0 +1,284 @@
+// Package oblx implements the OBLX solver: it minimizes an ASTRX-compiled
+// cost function with simulated annealing, using the move palette §V-A of
+// the paper describes — random single-variable perturbations, combined
+// continuous steps, and full/partial Newton-Raphson moves that drive the
+// relaxed-dc node voltages toward dc-correctness. Hustin's adaptive
+// selection (in package anneal) learns which class pays off as cooling
+// proceeds, and the constraint weights adapt so no problem-specific
+// constants are needed.
+package oblx
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"astrx/internal/anneal"
+	"astrx/internal/astrx"
+	"astrx/internal/dcsolve"
+	"astrx/internal/netlist"
+)
+
+// Options tunes a synthesis run.
+type Options struct {
+	Seed     int64
+	MaxMoves int // annealing move budget (0 → 150_000)
+
+	// Cost passes through to the compiler.
+	Cost astrx.CostOptions
+
+	// RecordTrace enables the Fig. 2 instrumentation: KCL error and cost
+	// snapshots along the run.
+	RecordTrace bool
+	TraceEvery  int // moves between snapshots (0 → 500)
+}
+
+func (o *Options) defaults() {
+	if o.MaxMoves == 0 {
+		o.MaxMoves = 150_000
+	}
+	if o.TraceEvery == 0 {
+		o.TraceEvery = 500
+	}
+}
+
+// TraceSample is one Fig. 2 data point.
+type TraceSample struct {
+	Move     int
+	Cost     float64
+	BestCost float64
+	Temp     float64
+	// MaxKCLError is the worst relative KCL residual — the "discrepancy
+	// from KCL-correct voltages" the paper plots.
+	MaxKCLError float64
+}
+
+// Result is a completed synthesis run.
+type Result struct {
+	Compiled *astrx.Compiled
+	// DCSolved reports that the final Newton polish converged: the
+	// returned design is dc-correct to simulator tolerances. RunBest
+	// prefers solved designs over lower-cost unsolved ones.
+	DCSolved bool
+	X        []float64
+	Cost     astrx.CostBreakdown
+	State    *astrx.EvalState
+
+	Moves     int
+	Accepted  int
+	Froze     bool
+	Duration  time.Duration
+	EvalCount int
+	MoveStats []anneal.MoveStat
+	Trace     []TraceSample
+	Seed      int64
+}
+
+// TimePerEval returns the mean wall time per circuit evaluation — the
+// paper's "time/ckt eval" metric.
+func (r *Result) TimePerEval() time.Duration {
+	if r.EvalCount == 0 {
+		return 0
+	}
+	return r.Duration / time.Duration(r.EvalCount)
+}
+
+// problem wraps the compiled cost function, counting evaluations.
+type problem struct {
+	c     *astrx.Compiled
+	evals int
+}
+
+func (p *problem) Vars() []anneal.VarSpec { return p.c.Vars() }
+
+func (p *problem) Cost(x []float64) float64 {
+	p.evals++
+	return p.c.Cost(x)
+}
+
+// Run synthesizes one deck with one seed.
+func Run(deck *netlist.Deck, opt Options) (*Result, error) {
+	opt.defaults()
+	c, err := astrx.Compile(deck, opt.Cost)
+	if err != nil {
+		return nil, err
+	}
+	p := &problem{c: c}
+	vars := c.Vars()
+
+	moves := []anneal.Move{
+		anneal.NewRandomStep("random", vars, 0.3),
+		anneal.NewAllStep("all-cont", vars),
+		newtonMove(c, "newton-full", 12),
+		newtonMove(c, "newton-step", 1),
+	}
+
+	var trace []TraceSample
+	weightFreeze := opt.MaxMoves / 4
+	tracer := func(tp anneal.TracePoint) {
+		// Adaptive weights settle during the first quarter of the run;
+		// afterwards the cost function is stationary (the annealer's
+		// best-so-far bookkeeping is re-based at the freeze point).
+		if tp.Move < weightFreeze {
+			c.Weights.Adapt(deck)
+		}
+		if opt.RecordTrace {
+			st := c.EvaluateBias(tp.X)
+			kcl := 0.0
+			if st.Err == nil {
+				kcl = st.MaxKCLError()
+			}
+			trace = append(trace, TraceSample{
+				Move: tp.Move, Cost: tp.Cost, BestCost: tp.BestCost,
+				Temp: tp.Temp, MaxKCLError: kcl,
+			})
+		}
+	}
+
+	start := time.Now()
+	res, err := anneal.Run(p, moves, anneal.Options{
+		Seed:        opt.Seed,
+		MaxMoves:    opt.MaxMoves,
+		Trace:       tracer,
+		TraceEvery:  opt.TraceEvery,
+		BestResetAt: weightFreeze,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oblx: %w", err)
+	}
+	dur := time.Since(start)
+
+	// Polish: a final full Newton solve from the best point tightens the
+	// bias to simulator-grade dc-correctness (the annealer's freezing
+	// tolerance is looser than a simulator's).
+	best := append([]float64(nil), res.Best...)
+	best, dcOK := polishDC(c, best)
+
+	st := c.Evaluate(best)
+	out := &Result{
+		Compiled:  c,
+		DCSolved:  dcOK,
+		X:         best,
+		Cost:      c.CostFromState(st),
+		State:     st,
+		Moves:     res.Moves,
+		Accepted:  res.Accepted,
+		Froze:     res.Froze,
+		Duration:  dur,
+		EvalCount: p.evals,
+		MoveStats: res.MoveStats,
+		Trace:     trace,
+		Seed:      opt.Seed,
+	}
+	return out, nil
+}
+
+// polishDC runs a full Newton solve on the node voltages of x. A
+// finished design must be dc-correct within simulator tolerances — the
+// paper's formulation guarantees the predicted performance only at a
+// KCL-consistent point — so a converged Newton bias is kept even when
+// the (penalty-weighted) cost rises slightly: reporting performance at a
+// dc-inconsistent point would be fiction. On solver failure the original
+// vector is returned unchanged.
+func polishDC(c *astrx.Compiled, x []float64) ([]float64, bool) {
+	dp := c.DCProblem(x)
+	if dp.N() == 0 {
+		return x, true
+	}
+	v0 := append([]float64(nil), x[c.NUser:]...)
+	r, err := dcsolve.Solve(dp, v0, dcsolve.Options{MaxIter: 200, GminSteps: 4})
+	if err != nil {
+		return x, false
+	}
+	out := append([]float64(nil), x...)
+	copy(out[c.NUser:], r.V)
+	return out, true
+}
+
+// newtonMove builds the gradient-directed move class: replace the node
+// voltages with the result of iters damped Newton-Raphson steps at the
+// current design variables.
+func newtonMove(c *astrx.Compiled, label string, iters int) anneal.Move {
+	return &anneal.FuncMove{
+		Label: label,
+		Fn: func(cur, next []float64, rng *rand.Rand) bool {
+			dp := c.DCProblem(cur)
+			n := dp.N()
+			if n == 0 {
+				return false
+			}
+			v := append([]float64(nil), cur[c.NUser:]...)
+			if iters <= 1 {
+				stepped, ok := dcsolve.Step(dp, v, dcsolve.Options{})
+				if !ok {
+					return false
+				}
+				copy(next[c.NUser:], stepped)
+				return true
+			}
+			r, _ := dcsolve.Solve(dp, v, dcsolve.Options{MaxIter: iters, BestEffort: true})
+			if r == nil {
+				return false
+			}
+			// Decline no-op solutions (already dc-correct): the solve was
+			// paid for, but proposing an identical point wastes a move.
+			same := true
+			for i, vv := range r.V {
+				if vv != v[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return false
+			}
+			copy(next[c.NUser:], r.V)
+			return true
+		},
+	}
+}
+
+// RunBest runs n independent seeded anneals (the paper's "5-10 annealing
+// runs performed overnight") in parallel goroutines and returns the
+// lowest-cost result along with every per-run result.
+func RunBest(deck *netlist.Deck, n int, opt Options) (*Result, []*Result, error) {
+	if n <= 0 {
+		n = 1
+	}
+	type slot struct {
+		r   *Result
+		err error
+	}
+	slots := make([]slot, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			o := opt
+			o.Seed = opt.Seed + int64(i)*7919
+			r, err := Run(deck, o)
+			slots[i] = slot{r: r, err: err}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	var best *Result
+	all := make([]*Result, 0, n)
+	better := func(a, b *Result) bool { // is a better than b?
+		if a.DCSolved != b.DCSolved {
+			return a.DCSolved // a dc-correct design beats any cheaper fiction
+		}
+		return a.Cost.Total < b.Cost.Total
+	}
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, nil, s.err
+		}
+		all = append(all, s.r)
+		if best == nil || better(s.r, best) {
+			best = s.r
+		}
+	}
+	return best, all, nil
+}
