@@ -1,0 +1,20 @@
+# Developer entry points. `make ci` is the gate: vet + build + full test
+# suite + race detector on the concurrency-bearing packages.
+
+GO ?= go
+
+.PHONY: ci vet build test race
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults

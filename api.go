@@ -1,6 +1,8 @@
 package astrx
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	iastrx "astrx/internal/astrx"
@@ -58,6 +60,16 @@ func Compile(deckSource string) (*iastrx.Compiled, error) {
 
 // Synthesize runs the full ASTRX→OBLX flow on a problem description.
 func Synthesize(deckSource string, cfg SynthConfig) (*Result, error) {
+	return SynthesizeContext(context.Background(), deckSource, cfg)
+}
+
+// SynthesizeContext is Synthesize with cancellation: when ctx is
+// cancelled or its deadline passes, the run stops early and the
+// best-so-far design is returned (Run.Cancelled is set) instead of an
+// error. With Runs > 1 a run that fails is retried once with a fresh
+// seed; surviving runs still compete, and an error is only returned when
+// every run failed.
+func SynthesizeContext(ctx context.Context, deckSource string, cfg SynthConfig) (*Result, error) {
 	d, err := netlist.Parse(deckSource)
 	if err != nil {
 		return nil, err
@@ -71,9 +83,13 @@ func Synthesize(deckSource string, cfg SynthConfig) (*Result, error) {
 	opt := oblx.Options{Seed: cfg.Seed, MaxMoves: cfg.MaxMoves}
 	var run *oblx.Result
 	if cfg.Runs > 1 {
-		run, _, err = oblx.RunBest(d, cfg.Runs, opt)
+		var errs []error
+		run, _, errs = oblx.RunBest(ctx, d, cfg.Runs, opt)
+		if run == nil {
+			err = errors.Join(errs...)
+		}
 	} else {
-		run, err = oblx.Run(d, opt)
+		run, err = oblx.Run(ctx, d, opt)
 	}
 	if err != nil {
 		return nil, err

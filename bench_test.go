@@ -11,6 +11,7 @@
 package astrx_test
 
 import (
+	"context"
 	"testing"
 
 	root "astrx"
@@ -102,7 +103,7 @@ func BenchmarkFig2Trace(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := oblx.Run(d, oblx.Options{
+		if _, err := oblx.Run(context.Background(), d, oblx.Options{
 			Seed: int64(i + 1), MaxMoves: 4000, RecordTrace: true, TraceEvery: 200,
 		}); err != nil {
 			b.Fatal(err)
@@ -192,7 +193,7 @@ func BenchmarkNewtonBias(b *testing.B) {
 	v0 := make([]float64, p.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dcsolve.Solve(p, v0, dcsolve.Options{GminSteps: 6, MaxIter: 200}); err != nil {
+		if _, err := dcsolve.Solve(context.Background(), p, v0, dcsolve.Options{GminSteps: 6, MaxIter: 200}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,19 +4,29 @@
 // verifies the winner against the reference simulator and prints the
 // spec-by-spec "OBLX / Simulation" comparison.
 //
+// Long runs are interruptible: Ctrl-C (or -timeout) stops the annealing
+// and reports the best design found so far, and -checkpoint/-resume make
+// a run survive process death without losing progress.
+//
 // Usage:
 //
 //	oblx [-moves N] [-runs K] [-seed S] <deck-file>
 //	oblx -bench "Simple OTA" -moves 120000 -runs 4
+//	oblx -bench "Simple OTA" -checkpoint run.ckpt        # interruptible
+//	oblx -bench "Simple OTA" -checkpoint run.ckpt -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"astrx/internal/bench"
+	"astrx/internal/faults"
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
 	"astrx/internal/verify"
@@ -27,6 +37,14 @@ func main() {
 	moves := flag.Int("moves", 120_000, "annealing move budget per run")
 	runs := flag.Int("runs", 1, "independent seeded runs (best kept)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	timeout := flag.Duration("timeout", 0, "abort after this long, keeping the best design so far")
+	ckptPath := flag.String("checkpoint", "", "write a resumable state snapshot to this file")
+	ckptEvery := flag.Int("checkpoint-every", 5000, "moves between checkpoint writes")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+	noFreeze := flag.Bool("no-freeze", false, "disable the freezing criterion (consume the full move budget)")
+	faultPanic := flag.Float64("fault-panic", 0, "inject evaluator panics at this rate (testing)")
+	faultNaN := flag.Float64("fault-nan", 0, "inject NaN costs at this rate (testing)")
+	faultNewton := flag.Float64("fault-newton", 0, "inject Newton non-convergence at this rate (testing)")
 	flag.Parse()
 
 	var src, title string
@@ -50,7 +68,7 @@ func main() {
 		}
 		src, title = string(data), flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: oblx [-bench name | deck-file] [-moves N] [-runs K] [-seed S]")
+		fmt.Fprintln(os.Stderr, "usage: oblx [-bench name | deck-file] [-moves N] [-runs K] [-seed S] [-timeout D] [-checkpoint F [-resume]]")
 		os.Exit(2)
 	}
 
@@ -59,27 +77,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oblx:", err)
 		os.Exit(1)
 	}
-	opt := oblx.Options{Seed: *seed, MaxMoves: *moves}
+
+	// SIGINT/SIGTERM cancel the run; the annealer returns best-so-far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opt := oblx.Options{
+		Seed:            *seed,
+		MaxMoves:        *moves,
+		NoFreeze:        *noFreeze,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *faultPanic > 0 || *faultNaN > 0 || *faultNewton > 0 {
+		opt.Faults = faults.New(*seed+997, faults.Rates{
+			EvalPanic: *faultPanic, NaNCost: *faultNaN, NewtonFail: *faultNewton,
+		})
+	}
+	if *resume {
+		if *ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "oblx: -resume requires -checkpoint")
+			os.Exit(2)
+		}
+		if *runs > 1 {
+			fmt.Fprintln(os.Stderr, "oblx: -resume is a single-run feature; drop -runs")
+			os.Exit(2)
+		}
+		ck, err := oblx.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oblx:", err)
+			os.Exit(1)
+		}
+		opt.Resume = ck
+		fmt.Printf("resuming from %s (move %d of %d)\n", *ckptPath, ck.Anneal.Move, ck.MaxMoves)
+	}
+
 	var best *oblx.Result
 	if *runs <= 1 {
-		best, err = oblx.Run(deck, opt)
+		best, err = oblx.Run(ctx, deck, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oblx:", err)
+			os.Exit(1)
+		}
 	} else {
-		best, _, err = oblx.RunBest(deck, *runs, opt)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "oblx:", err)
-		os.Exit(1)
+		var errs []error
+		best, _, errs = oblx.RunBest(ctx, deck, *runs, opt)
+		for i, e := range errs {
+			if e != nil {
+				fmt.Fprintf(os.Stderr, "oblx: warning: run %d failed: %v\n", i, e)
+			}
+		}
+		if best == nil {
+			fmt.Fprintln(os.Stderr, "oblx: all runs failed")
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("OBLX synthesis of %s (seed %d, %d moves", title, best.Seed, best.Moves)
 	if best.Froze {
 		fmt.Printf(", froze early")
 	}
+	if best.Cancelled {
+		fmt.Printf(", CANCELLED — best-so-far design")
+	}
 	fmt.Printf(")\n")
 	fmt.Printf("  cost: obj %.4g, perf %.4g, dev %.4g, dc %.4g (total %.4g)\n",
 		best.Cost.Objective, best.Cost.Perf, best.Cost.Dev, best.Cost.DC, best.Cost.Total)
-	fmt.Printf("  time/ckt eval: %v; CPU/run: %v (%d evaluations)\n",
-		best.TimePerEval().Round(time.Microsecond), best.Duration.Round(time.Millisecond), best.EvalCount)
+	if best.EvalCount > 0 {
+		fmt.Printf("  time/ckt eval: %v; CPU/run: %v (%d evaluations)\n",
+			best.TimePerEval().Round(time.Microsecond), best.Duration.Round(time.Millisecond), best.EvalCount)
+	} else {
+		fmt.Printf("  time/ckt eval: n/a (no evaluations ran); CPU/run: %v\n",
+			best.Duration.Round(time.Millisecond))
+	}
+	if f := best.Failures; f.Total() > 0 {
+		fmt.Printf("  failures absorbed: %d panics recovered, %d non-finite costs, %d retries, %d quarantined, %d moves rejected\n",
+			f.PanicsRecovered, f.NonFiniteCosts, f.Retries, f.Quarantined, f.RejectedMoves)
+	}
+	if best.CheckpointErr != nil {
+		fmt.Fprintf(os.Stderr, "oblx: warning: checkpoint writes failed: %v\n", best.CheckpointErr)
+	}
 	fmt.Println("  design variables:")
 	for i := 0; i < best.Compiled.NUser; i++ {
 		fmt.Printf("    %-10s = %.5g\n", best.Compiled.Vars()[i].Name, best.X[i])
@@ -87,6 +169,12 @@ func main() {
 
 	rep, err := verify.Design(best.Compiled, best.X, best.State.SpecVals)
 	if err != nil {
+		// A cancelled run's half-annealed point may not verify; that is a
+		// caveat on the partial result, not a failure of the command.
+		if best.Cancelled {
+			fmt.Fprintln(os.Stderr, "oblx: warning: best-so-far design did not verify:", err)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "oblx: verification:", err)
 		os.Exit(1)
 	}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"astrx/internal/bench"
@@ -32,6 +35,9 @@ func main() {
 	runs := flag.Int("runs", 2, "independent runs per synthesis (best kept)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opt := bench.SynthOptions{Seed: *seed, MaxMoves: *moves, Runs: *runs}
 	did := false
@@ -50,7 +56,7 @@ func main() {
 	}
 	if *all || *table == 2 {
 		did = true
-		rs, err := bench.Table2(opt)
+		rs, err := bench.Table2(ctx, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -58,7 +64,7 @@ func main() {
 	}
 	if *all || *table == 3 {
 		did = true
-		res, err := bench.Table3(opt)
+		res, err := bench.Table3(ctx, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -66,7 +72,7 @@ func main() {
 	}
 	if *all || *fig == 2 {
 		did = true
-		trace, err := bench.Fig2(opt)
+		trace, err := bench.Fig2(ctx, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -74,7 +80,7 @@ func main() {
 	}
 	if *all || *fig == 3 {
 		did = true
-		pts, err := runFig3(opt)
+		pts, err := runFig3(ctx, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -82,7 +88,7 @@ func main() {
 	}
 	if *all || *exp == "models" {
 		did = true
-		rs, err := bench.ModelComparison(opt)
+		rs, err := bench.ModelComparison(ctx, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -104,7 +110,7 @@ func main() {
 
 // runFig3 measures the two live Fig. 3 points (eqbase and ASTRX/OBLX on
 // the Simple OTA) and merges them with the literature cluster.
-func runFig3(opt bench.SynthOptions) ([]bench.Fig3Point, error) {
+func runFig3(ctx context.Context, opt bench.SynthOptions) ([]bench.Fig3Point, error) {
 	// Equation-based point: design + evaluate, timing the "tool" part.
 	proc, err := eqbase.ExtractSquareLaw("c2u")
 	if err != nil {
@@ -124,7 +130,7 @@ func runFig3(opt bench.SynthOptions) ([]bench.Fig3Point, error) {
 	eqPrepHours := float64(eqbase.EquationLines) / 1000.0 * 170.0
 
 	// ASTRX/OBLX point on the same circuit.
-	res, err := bench.Synthesize(bench.SimpleOTA, opt)
+	res, err := bench.Synthesize(ctx, bench.SimpleOTA, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"astrx/internal/bench"
 	"astrx/internal/netlist"
@@ -59,15 +62,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yield:", err)
 		os.Exit(1)
 	}
+
+	// Ctrl-C stops whichever stage is running: synthesis returns its
+	// best-so-far design, Monte Carlo aggregates the samples it finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("synthesizing %s (%d moves)…\n", title, *moves)
-	run, err := oblx.Run(deck, oblx.Options{Seed: *seed, MaxMoves: *moves})
+	run, err := oblx.Run(ctx, deck, oblx.Options{Seed: *seed, MaxMoves: *moves})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yield:", err)
 		os.Exit(1)
 	}
+	if run.Cancelled {
+		fmt.Println("synthesis interrupted — analyzing the best design found so far")
+	}
 
 	fmt.Println("\nsensitivities (% spec change per % variable change), top 12:")
-	ss, err := yield.Sensitivities(run.Compiled, run.X)
+	ss, err := yield.Sensitivities(ctx, run.Compiled, run.X)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yield:", err)
 		os.Exit(1)
@@ -78,7 +90,7 @@ func main() {
 
 	fmt.Printf("\nMonte Carlo mismatch analysis (%d samples, σVth=%.0f mV, σβ=%.1f%%):\n",
 		*mc, *vthSigma*1e3, *betaSigma*100)
-	res, err := yield.MonteCarlo(src, run.X, *mc,
+	res, err := yield.MonteCarlo(ctx, src, run.X, *mc,
 		yield.MismatchModel{VthSigma: *vthSigma, BetaSigma: *betaSigma}, *seed+101)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yield:", err)

@@ -9,15 +9,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"astrx/internal/bench"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("synthesizing the Simple OTA under three model/process combinations…")
-	rs, err := bench.ModelComparison(bench.SynthOptions{
+	rs, err := bench.ModelComparison(ctx, bench.SynthOptions{
 		Seed: 5, MaxMoves: 60_000, Runs: 2,
 	})
 	if err != nil {

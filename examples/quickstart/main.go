@@ -8,8 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"astrx/internal/netlist"
@@ -74,10 +77,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Ctrl-C stops the annealing early and keeps the best design so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("ASTRX: compiling the problem and OBLX: annealing…")
-	res, err := oblx.Run(d, oblx.Options{Seed: 7, MaxMoves: 60_000})
+	res, err := oblx.Run(ctx, d, oblx.Options{Seed: 7, MaxMoves: 60_000})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Cancelled {
+		fmt.Println("interrupted — reporting the best design found so far")
 	}
 
 	fmt.Printf("done in %v (%d circuit evaluations, %v each)\n\n",

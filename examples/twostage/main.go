@@ -7,16 +7,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"astrx/internal/bench"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("synthesizing the two-stage op-amp (two parallel runs, best kept)…")
-	res, err := bench.Synthesize(bench.TwoStage, bench.SynthOptions{
+	res, err := bench.Synthesize(ctx, bench.TwoStage, bench.SynthOptions{
 		Seed: 11, MaxMoves: 80_000, Runs: 2,
 	})
 	if err != nil {

@@ -20,6 +20,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -132,9 +133,10 @@ type Options struct {
 	// Freezing: stop early when, for FreezeStages consecutive stages
 	// (one stage = StageMoves moves), no accepted move changed a discrete
 	// variable and accepted continuous changes stayed below FreezeTol
-	// relative to the variable range.
+	// relative to the variable range. A negative FreezeStages disables
+	// freezing entirely (fixed-budget runs).
 	StageMoves   int     // 0 → 1000
-	FreezeStages int     // 0 → 8
+	FreezeStages int     // 0 → 8; < 0 → never freeze
 	FreezeTol    float64 // 0 → 1e-4
 
 	// Trace, when set, receives a TracePoint every TraceEvery moves.
@@ -147,6 +149,22 @@ type Options struct {
 	// the first quarter) use this so a stale early "best" cannot mask
 	// later genuine improvements.
 	BestResetAt int
+
+	// OnCheckpoint, when set together with a positive CheckpointEvery,
+	// receives a full state snapshot every CheckpointEvery moves —
+	// captured at the top of the move loop, so resuming from it replays
+	// the remaining moves exactly. On context cancellation one final
+	// snapshot is emitted at the cancellation point regardless of the
+	// interval, making an interrupted run resumable without losing a
+	// single move.
+	OnCheckpoint    func(*Checkpoint)
+	CheckpointEvery int
+
+	// Resume, when set, restores a previous run's complete state instead
+	// of starting fresh. The problem, move palette, seed, and MaxMoves
+	// must match the checkpointed run for the result to be meaningful;
+	// structural mismatches are rejected with an error.
+	Resume *Checkpoint
 }
 
 func (o *Options) defaults() {
@@ -172,7 +190,10 @@ type MoveStat struct {
 	Name     string
 	Proposed int
 	Accepted int
-	Quality  float64
+	// Failed counts proposals of this class whose cost came back
+	// non-finite and were rejected outright.
+	Failed  int
+	Quality float64
 }
 
 // Result is the outcome of a Run.
@@ -183,13 +204,29 @@ type Result struct {
 	Moves     int
 	Accepted  int
 	Froze     bool
+	// Cancelled reports that the context was cancelled; Best/BestCost
+	// are the best-so-far at the point of cancellation, not an error.
+	Cancelled bool
+	// NonFinite counts moves rejected because the cost function returned
+	// NaN or ±Inf — such moves never enter the acceptance machinery.
+	NonFinite int
 	FinalTemp float64
 	MoveStats []MoveStat
 }
 
-// Run minimizes p using the supplied move palette.
-func Run(p Problem, moves []Move, opt Options) (*Result, error) {
+// isFinite reports whether x is an ordinary float (not NaN, not ±Inf).
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// Run minimizes p using the supplied move palette. Cancelling ctx stops
+// the run cleanly: the best-so-far result is returned with Cancelled
+// set, never an error.
+func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, error) {
 	opt.defaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	vars := p.Vars()
 	if len(vars) == 0 {
 		return nil, fmt.Errorf("anneal: problem has no variables")
@@ -197,42 +234,115 @@ func Run(p Problem, moves []Move, opt Options) (*Result, error) {
 	if len(moves) == 0 {
 		return nil, fmt.Errorf("anneal: no move classes supplied")
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	src := newRNGSource(opt.Seed)
+	rng := rand.New(src)
 
-	cur := make([]float64, len(vars))
-	for i := range vars {
-		cur[i] = vars[i].Start()
-	}
-	curCost := p.Cost(cur)
-	best := append([]float64(nil), cur...)
-	bestCost := curCost
-
-	// --- Initial temperature: Aarts/White style calibration from the
-	// cost deltas of a short random walk.
-	temp := opt.T0
-	if temp <= 0 {
-		temp = calibrateT0(p, moves, cur, curCost, rng)
-	}
-	// Warming is bounded: cost cliffs (failed evaluations) must not run
-	// the temperature away.
-	tMax := temp * 1e3
-
-	// --- Hustin move selection state.
+	var (
+		cur, best            []float64
+		curCost, bestCost    float64
+		temp, tMax           float64
+		accRate              float64
+		accepted, nonFinite  int
+		frozenStages         int
+		stageDiscreteChanged bool
+		stageMaxContChange   float64
+		startMove            int
+	)
 	sel := newSelector(moves)
-
-	// --- Modified-Lam acceptance-target machinery.
-	accRate := 0.5
+	classFails := make([]int, len(moves))
 	const lamDecay = 0.998
 
+	if ck := opt.Resume; ck != nil {
+		if err := ck.validate(len(vars), len(moves), opt.MaxMoves); err != nil {
+			return nil, err
+		}
+		cur = append([]float64(nil), ck.Cur...)
+		best = append([]float64(nil), ck.Best...)
+		curCost, bestCost = ck.CurCost, ck.BestCost
+		temp, tMax, accRate = ck.Temp, ck.TMax, ck.AccRate
+		accepted, nonFinite = ck.Accepted, ck.NonFinite
+		frozenStages = ck.FrozenStages
+		stageDiscreteChanged = ck.StageDiscrete
+		stageMaxContChange = ck.StageMaxCont
+		src.state = ck.RNGState
+		sel.restore(ck.Selector)
+		copy(classFails, ck.ClassFails)
+		for i, m := range moves {
+			if sm, ok := m.(StatefulMove); ok && ck.MoveStates[i] != nil {
+				sm.SetMoveState(ck.MoveStates[i])
+			}
+		}
+		startMove = ck.Move
+	} else {
+		cur = make([]float64, len(vars))
+		for i := range vars {
+			cur[i] = vars[i].Start()
+		}
+		curCost = p.Cost(cur)
+		if !isFinite(curCost) {
+			// A poisoned start must not wedge the best-so-far tracking
+			// (NaN comparisons are always false): pretend it is merely
+			// terrible so the first finite cost becomes the best.
+			nonFinite++
+			curCost = math.MaxFloat64
+		}
+		best = append([]float64(nil), cur...)
+		bestCost = curCost
+
+		// --- Initial temperature: Aarts/White style calibration from the
+		// cost deltas of a short random walk.
+		temp = opt.T0
+		if temp <= 0 {
+			temp = calibrateT0(p, moves, cur, curCost, rng)
+		}
+		// Warming is bounded: cost cliffs (failed evaluations) must not
+		// run the temperature away.
+		tMax = temp * 1e3
+		accRate = 0.5
+	}
+
+	// capture snapshots the complete engine state at the top of move mv.
+	capture := func(mv int) *Checkpoint {
+		ms := make([][]float64, len(moves))
+		for i, m := range moves {
+			if sm, ok := m.(StatefulMove); ok {
+				ms[i] = sm.MoveState()
+			}
+		}
+		return &Checkpoint{
+			Seed: opt.Seed, MaxMoves: opt.MaxMoves, Move: mv,
+			Cur: append([]float64(nil), cur...), CurCost: curCost,
+			Best: append([]float64(nil), best...), BestCost: bestCost,
+			Temp: temp, TMax: tMax, AccRate: accRate,
+			Accepted: accepted, NonFinite: nonFinite,
+			FrozenStages: frozenStages, StageDiscrete: stageDiscreteChanged,
+			StageMaxCont: stageMaxContChange,
+			RNGState:     src.state,
+			Selector:     sel.state(),
+			MoveStates:   ms,
+			ClassFails:   append([]int(nil), classFails...),
+		}
+	}
+
 	next := make([]float64, len(vars))
-	frozenStages := 0
-	stageDiscreteChanged := false
-	stageMaxContChange := 0.0
-	accepted := 0
-	mv := 0
+	mv := startMove
 	froze := false
+	cancelled := false
 
 	for ; mv < opt.MaxMoves; mv++ {
+		select {
+		case <-ctx.Done():
+			cancelled = true
+		default:
+		}
+		if cancelled {
+			break
+		}
+		if opt.OnCheckpoint != nil && opt.CheckpointEvery > 0 &&
+			mv > startMove && mv%opt.CheckpointEvery == 0 {
+			opt.OnCheckpoint(capture(mv))
+		}
+
 		progress := float64(mv) / float64(opt.MaxMoves)
 		target := lamTarget(progress)
 
@@ -261,6 +371,17 @@ func Run(p Problem, moves []Move, opt Options) (*Result, error) {
 			continue
 		}
 		nextCost := p.Cost(next)
+		if !isFinite(nextCost) {
+			// A NaN/Inf cost must never reach the acceptance test — NaN
+			// comparisons would silently reject but poison the
+			// acceptance-rate statistics, and -Inf would be accepted.
+			// Treat it as a hard rejection and charge the class.
+			nonFinite++
+			classFails[mi]++
+			sel.feedback(mi, false, 0)
+			moves[mi].Feedback(false, 0)
+			continue
+		}
 		d := nextCost - curCost
 		acc := d <= 0
 		if !acc && temp > 0 {
@@ -326,12 +447,18 @@ func Run(p Problem, moves []Move, opt Options) (*Result, error) {
 			stageDiscreteChanged = false
 			stageMaxContChange = 0
 			sel.stageReset()
-			if frozenStages >= opt.FreezeStages {
+			if opt.FreezeStages > 0 && frozenStages >= opt.FreezeStages {
 				froze = true
 				mv++
 				break
 			}
 		}
+	}
+
+	if cancelled && opt.OnCheckpoint != nil {
+		// Final snapshot at the exact cancellation point: a resumed run
+		// continues from this move as if never interrupted.
+		opt.OnCheckpoint(capture(mv))
 	}
 
 	res := &Result{
@@ -341,8 +468,10 @@ func Run(p Problem, moves []Move, opt Options) (*Result, error) {
 		Moves:     mv,
 		Accepted:  accepted,
 		Froze:     froze,
+		Cancelled: cancelled,
+		NonFinite: nonFinite,
 		FinalTemp: temp,
-		MoveStats: sel.stats(moves),
+		MoveStats: sel.stats(moves, classFails),
 	}
 	return res, nil
 }
@@ -380,7 +509,16 @@ func calibrateT0(p Problem, moves []Move, start []float64, startCost float64, rn
 			next[j] = vars[j].Snap(next[j])
 		}
 		c := p.Cost(next)
-		deltas = append(deltas, math.Abs(c-curCost))
+		if !isFinite(c) {
+			// A failed evaluation during calibration carries no usable
+			// delta; stay at the current point and keep sampling.
+			continue
+		}
+		if d := math.Abs(c - curCost); isFinite(d) && d < 1e300 {
+			// Deltas against a sanitized (MaxFloat64) start are sentinel
+			// cliffs, not real cost movement — exclude them too.
+			deltas = append(deltas, d)
+		}
 		// Random walk: accept everything during calibration.
 		cur, next = next, cur
 		curCost = c
@@ -470,7 +608,7 @@ func (s *selector) stageReset() {
 	}
 }
 
-func (s *selector) stats(moves []Move) []MoveStat {
+func (s *selector) stats(moves []Move, classFails []int) []MoveStat {
 	out := make([]MoveStat, len(moves))
 	for i := range moves {
 		out[i] = MoveStat{
@@ -478,6 +616,9 @@ func (s *selector) stats(moves []Move) []MoveStat {
 			Proposed: s.totProp[i],
 			Accepted: s.totAcc[i],
 			Quality:  s.quality[i],
+		}
+		if classFails != nil {
+			out[i].Failed = classFails[i]
 		}
 	}
 	return out

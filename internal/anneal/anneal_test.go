@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -31,7 +32,7 @@ func runOn(t *testing.T, p Problem, seed int64, maxMoves int) *Result {
 		NewRandomStep("single", vars, 0.25),
 		NewAllStep("all", vars),
 	}
-	res, err := Run(p, moves, Options{Seed: seed, MaxMoves: maxMoves})
+	res, err := Run(context.Background(), p, moves, Options{Seed: seed, MaxMoves: maxMoves})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestTrace(t *testing.T) {
 	}
 	var pts []TracePoint
 	moves := []Move{NewRandomStep("single", p.vars, 0.25)}
-	_, err := Run(p, moves, Options{
+	_, err := Run(context.Background(), p, moves, Options{
 		Seed: 9, MaxMoves: 10_000,
 		Trace: func(tp TracePoint) { pts = append(pts, tp) }, TraceEvery: 100,
 	})
@@ -180,11 +181,11 @@ func TestTrace(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	p := &funcProblem{vars: nil, cost: func([]float64) float64 { return 0 }}
-	if _, err := Run(p, []Move{NewAllStep("a", nil)}, Options{}); err == nil {
+	if _, err := Run(context.Background(), p, []Move{NewAllStep("a", nil)}, Options{}); err == nil {
 		t.Error("no variables must error")
 	}
 	p2 := &funcProblem{vars: contVars(1, 0, 1), cost: func([]float64) float64 { return 0 }}
-	if _, err := Run(p2, nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), p2, nil, Options{}); err == nil {
 		t.Error("no moves must error")
 	}
 }
@@ -294,7 +295,7 @@ func TestHustinSelectorPrefersGoodMoves(t *testing.T) {
 	if picks[1] == 0 {
 		t.Error("stage reset must keep losing classes alive")
 	}
-	st := s.stats(moves)
+	st := s.stats(moves, make([]int, len(moves)))
 	if st[0].Name != "good" || st[0].Accepted != 100 || st[1].Accepted != 0 {
 		t.Errorf("stats = %+v", st)
 	}

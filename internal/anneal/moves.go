@@ -5,6 +5,19 @@ import (
 	"math/rand"
 )
 
+// StatefulMove is implemented by move classes with adaptive internal
+// state (step amplitudes). Checkpointing captures and restores that
+// state so resumed runs are bit-identical to uninterrupted ones; classes
+// that do not implement it are assumed stateless.
+type StatefulMove interface {
+	Move
+	// MoveState returns a copy of the class's adaptive state.
+	MoveState() []float64
+	// SetMoveState restores state previously returned by MoveState.
+	// Mismatched lengths are ignored (the class keeps its defaults).
+	SetMoveState(s []float64)
+}
+
 // RandomStep perturbs one randomly chosen variable. Continuous variables
 // move by a Gaussian step whose amplitude self-adapts toward a healthy
 // acceptance ratio (range-limiter style); discrete variables jump a
@@ -79,6 +92,18 @@ func (m *RandomStep) Feedback(accepted bool, dCost float64) {
 	}
 }
 
+// MoveState implements StatefulMove: the per-variable amplitudes.
+func (m *RandomStep) MoveState() []float64 {
+	return append([]float64(nil), m.amp...)
+}
+
+// SetMoveState implements StatefulMove.
+func (m *RandomStep) SetMoveState(s []float64) {
+	if len(s) == len(m.amp) {
+		copy(m.amp, s)
+	}
+}
+
 // AllStep perturbs every continuous variable simultaneously by a small
 // Gaussian step — useful late in the anneal to slide along valleys.
 type AllStep struct {
@@ -121,6 +146,16 @@ func (m *AllStep) Feedback(accepted bool, dCost float64) {
 	}
 	if m.amp > 0.5 {
 		m.amp = 0.5
+	}
+}
+
+// MoveState implements StatefulMove: the shared amplitude.
+func (m *AllStep) MoveState() []float64 { return []float64{m.amp} }
+
+// SetMoveState implements StatefulMove.
+func (m *AllStep) SetMoveState(s []float64) {
+	if len(s) == 1 {
+		m.amp = s[0]
 	}
 }
 

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -137,7 +138,7 @@ func TestBestResetAt(t *testing.T) {
 		},
 	}
 	moves := []Move{NewRandomStep("r", p.vars, 0.3)}
-	res, err := Run(p, moves, Options{Seed: 6, MaxMoves: 20_000, BestResetAt: 2000})
+	res, err := Run(context.Background(), p, moves, Options{Seed: 6, MaxMoves: 20_000, BestResetAt: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}

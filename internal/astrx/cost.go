@@ -53,6 +53,53 @@ func newWeights(deck *netlist.Deck, bias *BiasCkt) *Weights {
 	return w
 }
 
+// WeightsState is the serializable snapshot of the adaptive-weight
+// state. The cost function is stateful (weights and violation EMAs
+// evolve during annealing), so checkpoint/restart must capture it for a
+// resumed run to reproduce an uninterrupted one exactly.
+type WeightsState struct {
+	Spec    map[string]float64 `json:"spec"`
+	Region  float64            `json:"region"`
+	KCL     float64            `json:"kcl"`
+	EMASpec map[string]float64 `json:"ema_spec"`
+	EMAReg  float64            `json:"ema_reg"`
+	EMAKCL  float64            `json:"ema_kcl"`
+}
+
+// State snapshots the weights.
+func (w *Weights) State() *WeightsState {
+	s := &WeightsState{
+		Spec:    make(map[string]float64, len(w.Spec)),
+		Region:  w.Region,
+		KCL:     w.KCL,
+		EMASpec: make(map[string]float64, len(w.emaSpec)),
+		EMAReg:  w.emaReg,
+		EMAKCL:  w.emaKCL,
+	}
+	for k, v := range w.Spec {
+		s.Spec[k] = v
+	}
+	for k, v := range w.emaSpec {
+		s.EMASpec[k] = v
+	}
+	return s
+}
+
+// Restore overwrites the weights with a snapshot.
+func (w *Weights) Restore(s *WeightsState) {
+	if s == nil {
+		return
+	}
+	for k, v := range s.Spec {
+		w.Spec[k] = v
+	}
+	for k, v := range s.EMASpec {
+		w.emaSpec[k] = v
+	}
+	w.Region, w.KCL = s.Region, s.KCL
+	w.emaReg, w.emaKCL = s.EMAReg, s.EMAKCL
+}
+
 // Adapt grows the weight of any constraint group whose violation EMA
 // remains above threshold. OBLX calls it periodically during annealing.
 func (w *Weights) Adapt(deck *netlist.Deck) {

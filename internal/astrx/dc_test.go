@@ -1,6 +1,7 @@
 package astrx
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestDCProblemDivider(t *testing.T) {
 	if p.N() != 1 {
 		t.Fatalf("N = %d", p.N())
 	}
-	r, err := dcsolve.Solve(p, []float64{0}, dcsolve.Options{})
+	r, err := dcsolve.Solve(context.Background(), p, []float64{0}, dcsolve.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestDCProblemSolvesDiffAmpBias(t *testing.T) {
 	p := c.DCProblem(x)
 	n := p.N()
 	v0 := make([]float64, n)
-	r, err := dcsolve.Solve(p, v0, dcsolve.Options{GminSteps: 8, MaxIter: 200})
+	r, err := dcsolve.Solve(context.Background(), p, v0, dcsolve.Options{GminSteps: 8, MaxIter: 200})
 	if err != nil {
 		t.Fatal(err)
 	}

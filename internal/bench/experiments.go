@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -42,13 +43,13 @@ type ModelResult struct {
 // minimizing area at fixed specs — experiment E6. The paper found
 // BSIM/2µ largest, then BSIM/1.2µ, then MOS3/1.2µ (580/300/140 µm²):
 // the *model*, not just the process, changes the design.
-func ModelComparison(opt SynthOptions) ([]ModelResult, error) {
+func ModelComparison(ctx context.Context, opt SynthOptions) ([]ModelResult, error) {
 	out := make([]ModelResult, 0, len(ModelVariants))
 	for i, v := range ModelVariants {
 		src := SimpleOTASource(v.Lib, v.NMod, v.PMod)
 		o := opt
 		o.Seed = opt.Seed + int64(i)*37
-		res, err := synthesizeDeck(SimpleOTA, src, o)
+		res, err := synthesizeDeck(ctx, SimpleOTA, src, o)
 		if err != nil {
 			return nil, fmt.Errorf("bench: model variant %s: %w", v.Label, err)
 		}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -103,11 +105,11 @@ type SynthResult struct {
 
 // Synthesize runs OBLX on a benchmark and verifies the result against
 // the reference simulator.
-func Synthesize(c Circuit, opt SynthOptions) (*SynthResult, error) {
-	return synthesizeDeck(c, DeckSource(c), opt)
+func Synthesize(ctx context.Context, c Circuit, opt SynthOptions) (*SynthResult, error) {
+	return synthesizeDeck(ctx, c, DeckSource(c), opt)
 }
 
-func synthesizeDeck(c Circuit, src string, opt SynthOptions) (*SynthResult, error) {
+func synthesizeDeck(ctx context.Context, c Circuit, src string, opt SynthOptions) (*SynthResult, error) {
 	d, err := netlist.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", c, err)
@@ -122,9 +124,13 @@ func synthesizeDeck(c Circuit, src string, opt SynthOptions) (*SynthResult, erro
 	oo := oblx.Options{Seed: opt.Seed, MaxMoves: opt.MaxMoves, RecordTrace: opt.Trace}
 	var best *oblx.Result
 	if runs == 1 {
-		best, err = oblx.Run(d, oo)
+		best, err = oblx.Run(ctx, d, oo)
 	} else {
-		best, _, err = oblx.RunBest(d, runs, oo)
+		var errs []error
+		best, _, errs = oblx.RunBest(ctx, d, runs, oo)
+		if best == nil {
+			err = errors.Join(errs...)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", c, err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -114,7 +115,7 @@ func TestSynthesizeSimpleOTASmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("synthesis in -short mode")
 	}
-	res, err := Synthesize(SimpleOTA, SynthOptions{Seed: 1, MaxMoves: 40_000})
+	res, err := Synthesize(context.Background(), SimpleOTA, SynthOptions{Seed: 1, MaxMoves: 40_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig2TraceShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("synthesis in -short mode")
 	}
-	trace, err := Fig2(SynthOptions{Seed: 2, MaxMoves: 20_000})
+	trace, err := Fig2(context.Background(), SynthOptions{Seed: 2, MaxMoves: 20_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestTableFormattersRender(t *testing.T) {
 	if testing.Short() {
 		t.Skip("synthesis in -short mode")
 	}
-	res, err := Synthesize(SimpleOTA, SynthOptions{Seed: 9, MaxMoves: 3000})
+	res, err := Synthesize(context.Background(), SimpleOTA, SynthOptions{Seed: 9, MaxMoves: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}

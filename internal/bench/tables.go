@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -98,12 +99,12 @@ type Table2Result struct {
 
 // Table2 synthesizes the Table-2 suite. Budget and run count are per
 // circuit; runs execute in parallel inside RunBest.
-func Table2(opt SynthOptions) ([]Table2Result, error) {
+func Table2(ctx context.Context, opt SynthOptions) ([]Table2Result, error) {
 	out := make([]Table2Result, 0, len(Table2Suite))
 	for i, c := range Table2Suite {
 		o := opt
 		o.Seed = opt.Seed + int64(i)*1000003
-		res, err := Synthesize(c, o)
+		res, err := Synthesize(ctx, c, o)
 		if err != nil {
 			return nil, err
 		}
@@ -173,8 +174,8 @@ var ManualNovelFC = map[string]float64{
 }
 
 // Table3 re-synthesizes the novel folded cascode (the paper's Table 3).
-func Table3(opt SynthOptions) (*SynthResult, error) {
-	return Synthesize(NovelFC, opt)
+func Table3(ctx context.Context, opt SynthOptions) (*SynthResult, error) {
+	return Synthesize(ctx, NovelFC, opt)
 }
 
 // FormatTable3 renders the manual-vs-automatic comparison.
@@ -207,7 +208,7 @@ func FormatTable3(res *SynthResult) string {
 
 // Fig2 runs the Simple OTA with trace recording and returns the KCL
 // discrepancy series the paper plots.
-func Fig2(opt SynthOptions) ([]oblx.TraceSample, error) {
+func Fig2(ctx context.Context, opt SynthOptions) ([]oblx.TraceSample, error) {
 	d, err := Parse(SimpleOTA)
 	if err != nil {
 		return nil, err
@@ -215,7 +216,7 @@ func Fig2(opt SynthOptions) ([]oblx.TraceSample, error) {
 	if opt.MaxMoves == 0 {
 		opt.MaxMoves = 60_000
 	}
-	res, err := oblx.Run(d, oblx.Options{
+	res, err := oblx.Run(ctx, d, oblx.Options{
 		Seed: opt.Seed, MaxMoves: opt.MaxMoves, RecordTrace: true,
 	})
 	if err != nil {

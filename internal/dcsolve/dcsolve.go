@@ -8,6 +8,7 @@
 package dcsolve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -40,6 +41,11 @@ type Options struct {
 	// *Result alongside ErrNoConvergence) instead of discarding partial
 	// progress — what OBLX's gradient-directed moves want.
 	BestEffort bool
+	// FailHook, when set, is polled once per Newton iteration; returning
+	// true aborts the solve immediately with ErrNoConvergence (no
+	// best-effort iterate — a simulated catastrophic failure). It exists
+	// for fault injection; see internal/faults.
+	FailHook func() bool
 }
 
 func (o *Options) defaults() {
@@ -63,6 +69,21 @@ func (o *Options) defaults() {
 // ErrNoConvergence is returned when Newton iteration fails to converge.
 var ErrNoConvergence = errors.New("dcsolve: no convergence")
 
+// ErrNonFinite is returned when the starting vector contains NaN or ±Inf
+// — a poisoned input must be rejected at the boundary, not propagated
+// through the Jacobian where it corrupts every unknown.
+var ErrNonFinite = errors.New("dcsolve: non-finite value in input vector")
+
+// checkFinite returns a wrapped ErrNonFinite for the first bad entry.
+func checkFinite(v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: v[%d] = %g", ErrNonFinite, i, x)
+		}
+	}
+	return nil
+}
+
 // Result reports a solve.
 type Result struct {
 	V          []float64
@@ -71,8 +92,16 @@ type Result struct {
 }
 
 // Solve runs (optionally gmin-stepped) damped Newton-Raphson from v0.
-func Solve(p Problem, v0 []float64, opt Options) (*Result, error) {
+// Cancelling ctx aborts the solve between iterations; with BestEffort
+// the last iterate is returned alongside the context error.
+func Solve(ctx context.Context, p Problem, v0 []float64, opt Options) (*Result, error) {
 	opt.defaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := checkFinite(v0); err != nil {
+		return nil, err
+	}
 	v := append([]float64(nil), v0...)
 	if opt.GminSteps > 0 {
 		// Continuation from a heavily loaded system down to Gmin.
@@ -81,36 +110,46 @@ func Solve(p Problem, v0 []float64, opt Options) (*Result, error) {
 		steps := opt.GminSteps
 		factor := math.Pow(target/g, 1/float64(steps))
 		for i := 0; i < steps; i++ {
-			r, err := newton(p, v, g, opt)
+			if ctx.Err() != nil {
+				break
+			}
+			r, err := newton(ctx, p, v, g, opt)
 			if err == nil || (opt.BestEffort && r != nil) {
 				v = r.V
 			}
 			g *= factor
 		}
 	}
-	return newton(p, v, opt.Gmin, opt)
+	return newton(ctx, p, v, opt.Gmin, opt)
 }
 
 // Step performs exactly one damped Newton iteration from v0 and returns
-// the stepped vector (used by OBLX's partial-Newton move class). The
-// boolean reports whether a usable step was produced.
-func Step(p Problem, v0 []float64, opt Options) ([]float64, bool) {
+// the stepped vector (used by OBLX's partial-Newton move class). A nil
+// error reports that a usable step was produced; a poisoned input
+// returns ErrNonFinite.
+func Step(p Problem, v0 []float64, opt Options) ([]float64, error) {
 	opt.defaults()
+	if err := checkFinite(v0); err != nil {
+		return nil, err
+	}
+	if opt.FailHook != nil && opt.FailHook() {
+		return nil, fmt.Errorf("%w (injected)", ErrNoConvergence)
+	}
 	n := p.N()
 	f := make([]float64, n)
 	if err := p.Residual(v0, f); err != nil {
-		return nil, false
+		return nil, fmt.Errorf("dcsolve: %w", err)
 	}
 	j := linalg.NewMatrix(n, n)
 	if err := p.Jacobian(v0, j); err != nil {
-		return nil, false
+		return nil, fmt.Errorf("dcsolve: %w", err)
 	}
 	for i := 0; i < n; i++ {
 		j.Add(i, i, opt.Gmin)
 	}
 	lu, err := linalg.FactorLU(j)
 	if err != nil {
-		return nil, false
+		return nil, fmt.Errorf("dcsolve: singular Jacobian: %w", err)
 	}
 	dv := lu.Solve(f)
 	out := append([]float64(nil), v0...)
@@ -124,10 +163,10 @@ func Step(p Problem, v0 []float64, opt Options) ([]float64, bool) {
 		}
 		out[i] -= step
 	}
-	return out, true
+	return out, nil
 }
 
-func newton(p Problem, v0 []float64, gmin float64, opt Options) (*Result, error) {
+func newton(ctx context.Context, p Problem, v0 []float64, gmin float64, opt Options) (*Result, error) {
 	n := p.N()
 	v := append([]float64(nil), v0...)
 	f := make([]float64, n)
@@ -143,6 +182,18 @@ func newton(p Problem, v0 []float64, gmin float64, opt Options) (*Result, error)
 	for it := 1; it <= opt.MaxIter; it++ {
 		if norm < opt.AbsTol {
 			return &Result{V: v, Iterations: it - 1, ResidNorm: norm}, nil
+		}
+		select {
+		case <-ctx.Done():
+			err := fmt.Errorf("dcsolve: %w", ctx.Err())
+			if opt.BestEffort {
+				return &Result{V: v, Iterations: it - 1, ResidNorm: norm}, err
+			}
+			return nil, err
+		default:
+		}
+		if opt.FailHook != nil && opt.FailHook() {
+			return nil, fmt.Errorf("%w (injected)", ErrNoConvergence)
 		}
 		j.Zero()
 		if err := p.Jacobian(v, j); err != nil {

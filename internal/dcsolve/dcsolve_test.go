@@ -1,6 +1,7 @@
 package dcsolve
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestNewtonLinear(t *testing.T) {
 			j.Set(0, 0, 2)
 		},
 	}
-	r, err := Solve(p, []float64{0}, Options{})
+	r, err := Solve(context.Background(), p, []float64{0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestNewtonDiodeLike(t *testing.T) {
 			j.Set(0, 0, 1.0/1000+is/vt*math.Exp(v[0]/vt))
 		},
 	}
-	r, err := Solve(p, []float64{0}, Options{})
+	r, err := Solve(context.Background(), p, []float64{0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestNewtonTwoDim(t *testing.T) {
 			j.Set(1, 1, -1)
 		},
 	}
-	r, err := Solve(p, []float64{0, 0}, Options{})
+	r, err := Solve(context.Background(), p, []float64{0, 0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestGminStepping(t *testing.T) {
 			j.Set(0, 0, 1.0/100+is/vt*math.Exp(v[0]/vt))
 		},
 	}
-	r, err := Solve(p, []float64{0}, Options{GminSteps: 6})
+	r, err := Solve(context.Background(), p, []float64{0}, Options{GminSteps: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,9 +127,9 @@ func TestStepSingle(t *testing.T) {
 			j.Set(0, 0, 1)
 		},
 	}
-	v, ok := Step(p, []float64{0}, Options{})
-	if !ok {
-		t.Fatal("step failed")
+	v, err := Step(p, []float64{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
 	// MaxStep limiting: |Δ| ≤ 1.
 	if math.Abs(v[0]) > 1.0+1e-12 {
@@ -157,10 +158,10 @@ func TestSingularJacobian(t *testing.T) {
 	}
 	// gmin regularizes the matrix, but the system has no solution: the
 	// solver must report failure rather than hang.
-	if _, err := Solve(p, []float64{0, 0}, Options{MaxIter: 30}); err == nil {
+	if _, err := Solve(context.Background(), p, []float64{0, 0}, Options{MaxIter: 30}); err == nil {
 		t.Error("inconsistent system should not converge")
 	}
-	if _, ok := Step(p, []float64{0, 0}, Options{Gmin: 0}); ok {
+	if _, err := Step(p, []float64{0, 0}, Options{Gmin: 0}); err == nil {
 		// With zero gmin the singular matrix must be detected.
 		t.Log("step succeeded due to gmin default; acceptable")
 	}
@@ -168,10 +169,10 @@ func TestSingularJacobian(t *testing.T) {
 
 func TestResidualErrorPropagates(t *testing.T) {
 	p := &errProblem{}
-	if _, err := Solve(p, []float64{0}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, []float64{0}, Options{}); err == nil {
 		t.Error("residual error must propagate")
 	}
-	if _, ok := Step(p, []float64{0}, Options{}); ok {
+	if _, err := Step(p, []float64{0}, Options{}); err == nil {
 		t.Error("step must fail on residual error")
 	}
 }

@@ -1,0 +1,84 @@
+package dcsolve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"astrx/internal/linalg"
+)
+
+func linProblem() *scalarProblem {
+	return &scalarProblem{
+		n: 1,
+		f: func(v, f []float64) { f[0] = 2*v[0] - 4 },
+		jf: func(v []float64, j *linalg.Matrix) {
+			j.Set(0, 0, 2)
+		},
+	}
+}
+
+func TestSolveRejectsNonFiniteInput(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, err := Solve(context.Background(), linProblem(), []float64{bad}, Options{})
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("Solve(v0=%g): err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+func TestStepRejectsNonFiniteInput(t *testing.T) {
+	_, err := Step(linProblem(), []float64{0, math.NaN()}, Options{})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Errorf("err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestSolveCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Solve(ctx, linProblem(), []float64{0}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveCancelledBestEffort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := Solve(ctx, linProblem(), []float64{0}, Options{BestEffort: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if r == nil || len(r.V) != 1 {
+		t.Error("best-effort cancellation must still return the last iterate")
+	}
+}
+
+func TestFailHookAbortsSolve(t *testing.T) {
+	hook := func() bool { return true }
+	_, err := Solve(context.Background(), linProblem(), []float64{0}, Options{FailHook: hook})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+	if _, err := Step(linProblem(), []float64{0}, Options{FailHook: hook}); !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("Step err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestFailHookRateZeroEquivalent(t *testing.T) {
+	// A hook that never fires must not change the solve.
+	calls := 0
+	hook := func() bool { calls++; return false }
+	r, err := Solve(context.Background(), linProblem(), []float64{0}, Options{FailHook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.V[0]-2) > 1e-9 {
+		t.Errorf("v = %g, want 2", r.V[0])
+	}
+	if calls == 0 {
+		t.Error("hook was never polled")
+	}
+}

@@ -1,0 +1,158 @@
+// Package faults provides deterministic, rate-based fault injection for
+// exercising the synthesis engine's robustness machinery: recovered
+// evaluator panics, NaN costs, and forced Newton non-convergence. An
+// *Injector is wired behind nil-safe hooks (a nil injector is inert and
+// costs one pointer check), so production call sites carry no fault
+// logic of their own and no build tags are needed.
+//
+// All randomness flows from the injector's own seeded generator, so a
+// fault schedule is reproducible for a fixed seed, and every injected
+// fault is counted — tests compare the engine's recovery counters
+// against the injector's ground truth.
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// The injectable fault classes.
+const (
+	EvalPanic Kind = iota // evaluator panics mid-evaluation
+	NaNCost               // evaluator returns a NaN cost
+	NewtonFail            // Newton solver reports non-convergence
+	nKinds
+)
+
+// String names a fault kind.
+func (k Kind) String() string {
+	switch k {
+	case EvalPanic:
+		return "eval-panic"
+	case NaNCost:
+		return "nan-cost"
+	case NewtonFail:
+		return "newton-fail"
+	}
+	return fmt.Sprintf("faults.Kind(%d)", int(k))
+}
+
+// Injected is the panic value thrown by EvalPanic injections, so
+// recovery sites can distinguish injected faults from real bugs.
+type Injected struct {
+	K Kind
+	N int64 // ordinal of this injection
+}
+
+// Error implements error.
+func (f *Injected) Error() string {
+	return fmt.Sprintf("faults: injected %s #%d", f.K, f.N)
+}
+
+// Rates configures per-call injection probabilities (0 = never, 1 =
+// always).
+type Rates struct {
+	EvalPanic  float64
+	NaNCost    float64
+	NewtonFail float64
+}
+
+// Injector is a seeded, thread-safe fault source. The zero value and
+// the nil pointer are both inert.
+type Injector struct {
+	mu     sync.Mutex
+	state  uint64
+	rates  Rates
+	counts [nKinds]int64
+}
+
+// New builds an injector with the given seed and rates.
+func New(seed int64, rates Rates) *Injector {
+	return &Injector{state: uint64(seed), rates: rates}
+}
+
+// roll draws one uniform float and reports whether a fault of kind k
+// fires, counting it if so. Safe on a nil receiver (never fires).
+func (in *Injector) roll(k Kind, rate float64) bool {
+	if in == nil || rate <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	// splitmix64, same generator the annealer uses.
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	if u >= rate {
+		return false
+	}
+	in.counts[k]++
+	return true
+}
+
+// EvalPanic panics with an *Injected value at the configured rate; call
+// it at the top of a panic-recovered evaluation path.
+func (in *Injector) EvalPanic() {
+	if in.roll(EvalPanic, in.rateOf(EvalPanic)) {
+		panic(&Injected{K: EvalPanic, N: in.Count(EvalPanic)})
+	}
+}
+
+// NaNCost reports whether the evaluation should return a NaN cost.
+func (in *Injector) NaNCost() bool {
+	return in.roll(NaNCost, in.rateOf(NaNCost))
+}
+
+// NewtonHook returns a dcsolve.Options.FailHook that forces
+// non-convergence at the configured rate, or nil for a nil injector.
+func (in *Injector) NewtonHook() func() bool {
+	if in == nil || in.rates.NewtonFail <= 0 {
+		return nil
+	}
+	return func() bool { return in.roll(NewtonFail, in.rateOf(NewtonFail)) }
+}
+
+func (in *Injector) rateOf(k Kind) float64 {
+	if in == nil {
+		return 0
+	}
+	switch k {
+	case EvalPanic:
+		return in.rates.EvalPanic
+	case NaNCost:
+		return in.rates.NaNCost
+	case NewtonFail:
+		return in.rates.NewtonFail
+	}
+	return 0
+}
+
+// Count returns how many faults of kind k have been injected.
+func (in *Injector) Count(k Kind) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[k]
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t := int64(0)
+	for _, c := range in.counts {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.EvalPanic() // must not panic
+	if in.NaNCost() {
+		t.Error("nil injector fired NaNCost")
+	}
+	if in.NewtonHook() != nil {
+		t.Error("nil injector must return a nil Newton hook")
+	}
+	if in.Count(EvalPanic) != 0 || in.Total() != 0 {
+		t.Error("nil injector reported counts")
+	}
+}
+
+func TestZeroRatesNeverFire(t *testing.T) {
+	in := New(1, Rates{})
+	for i := 0; i < 1000; i++ {
+		in.EvalPanic()
+		if in.NaNCost() {
+			t.Fatal("zero-rate NaNCost fired")
+		}
+	}
+	if in.NewtonHook() != nil {
+		t.Error("zero-rate injector must return a nil Newton hook")
+	}
+	if in.Total() != 0 {
+		t.Errorf("total = %d, want 0", in.Total())
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	a := New(42, Rates{NaNCost: 0.1})
+	b := New(42, Rates{NaNCost: 0.1})
+	for i := 0; i < 5000; i++ {
+		if a.NaNCost() != b.NaNCost() {
+			t.Fatalf("schedules diverged at draw %d", i)
+		}
+	}
+	if a.Count(NaNCost) == 0 {
+		t.Error("rate 0.1 over 5000 draws never fired")
+	}
+}
+
+func TestApproximateRate(t *testing.T) {
+	in := New(7, Rates{NaNCost: 0.1})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.NaNCost()
+	}
+	got := in.Count(NaNCost)
+	if got < n/10/2 || got > n/10*2 {
+		t.Errorf("rate 0.1: %d fires in %d draws", got, n)
+	}
+}
+
+func TestEvalPanicValue(t *testing.T) {
+	in := New(3, Rates{EvalPanic: 1})
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok {
+			t.Fatalf("panic value = %T, want *Injected", r)
+		}
+		if inj.K != EvalPanic || inj.N != 1 {
+			t.Errorf("injected = %+v", inj)
+		}
+		var err error = inj
+		if !errors.As(err, &inj) || inj.Error() == "" {
+			t.Error("Injected must be a usable error")
+		}
+		if in.Count(EvalPanic) != 1 {
+			t.Errorf("count = %d", in.Count(EvalPanic))
+		}
+	}()
+	in.EvalPanic()
+	t.Fatal("rate-1 EvalPanic did not panic")
+}
+
+func TestNewtonHookFires(t *testing.T) {
+	in := New(9, Rates{NewtonFail: 1})
+	hook := in.NewtonHook()
+	if hook == nil {
+		t.Fatal("hook nil with nonzero rate")
+	}
+	if !hook() {
+		t.Error("rate-1 hook did not fire")
+	}
+	if in.Count(NewtonFail) != 1 {
+		t.Errorf("count = %d", in.Count(NewtonFail))
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	in := New(11, Rates{NaNCost: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.NaNCost()
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Total() != in.Count(NaNCost) {
+		t.Error("total does not match per-kind count")
+	}
+	if c := in.Count(NaNCost); c < 2000 || c > 6000 {
+		t.Errorf("concurrent fires = %d, want ≈ 4000", c)
+	}
+}

@@ -1,0 +1,101 @@
+package oblx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"astrx/internal/anneal"
+	"astrx/internal/astrx"
+)
+
+// checkpointVersion guards the on-disk format; bump on incompatible
+// changes so a stale file fails loudly instead of resuming garbage.
+const checkpointVersion = 1
+
+// Checkpoint is the on-disk snapshot of an interrupted synthesis run:
+// the annealer's complete state plus the stateful pieces OBLX layers on
+// top of it (adaptive constraint weights, evaluation and failure
+// counters, elapsed wall time). Resuming from it reproduces the same
+// final result as the uninterrupted run with the same seed.
+type Checkpoint struct {
+	Version  int   `json:"version"`
+	Seed     int64 `json:"seed"`
+	MaxMoves int   `json:"max_moves"`
+	// Vars is the total annealing-variable count (user + node voltages),
+	// a cheap structural guard that the checkpoint matches the deck it
+	// is resumed into.
+	Vars int `json:"vars"`
+
+	Anneal  *anneal.Checkpoint  `json:"anneal"`
+	Weights *astrx.WeightsState `json:"weights"`
+
+	Evals       int `json:"evals"`
+	Panics      int `json:"panics"`
+	NonFinite   int `json:"non_finite"`
+	Retries     int `json:"retries"`
+	Quarantined int `json:"quarantined"`
+
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// check validates the checkpoint against the compiled problem.
+func (ck *Checkpoint) check(nVars int) error {
+	switch {
+	case ck.Version != checkpointVersion:
+		return fmt.Errorf("oblx: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	case ck.Anneal == nil || ck.Weights == nil:
+		return fmt.Errorf("oblx: checkpoint missing annealer or weight state")
+	case ck.Vars != nVars:
+		return fmt.Errorf("oblx: checkpoint has %d variables, deck compiles to %d — wrong deck?",
+			ck.Vars, nVars)
+	}
+	return nil
+}
+
+// SaveCheckpoint atomically writes a checkpoint: the JSON is written to
+// a temp file in the same directory and renamed into place, so a crash
+// mid-write can never leave a truncated checkpoint behind.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("oblx: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("oblx: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("oblx: write checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("oblx: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oblx: load checkpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("oblx: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("oblx: checkpoint %s: version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	return ck, nil
+}

@@ -6,16 +6,28 @@
 // selection (in package anneal) learns which class pays off as cooling
 // proceeds, and the constraint weights adapt so no problem-specific
 // constants are needed.
+//
+// The solver is built for the paper's workflow — "5-10 annealing runs
+// performed overnight" — so long runs are first-class citizens: every
+// entry point takes a context.Context and returns the best-so-far design
+// on cancellation, periodic checkpoints make interrupted runs resumable
+// without losing a move, and the evaluation path absorbs evaluator
+// panics and non-finite costs as counted move rejections instead of
+// crashes (see DESIGN.md, "hardened evaluation contract").
 package oblx
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"astrx/internal/anneal"
 	"astrx/internal/astrx"
 	"astrx/internal/dcsolve"
+	"astrx/internal/faults"
 	"astrx/internal/netlist"
 )
 
@@ -24,6 +36,11 @@ type Options struct {
 	Seed     int64
 	MaxMoves int // annealing move budget (0 → 150_000)
 
+	// NoFreeze disables the freezing criterion so the run consumes its
+	// whole move budget — fixed-budget experiments and fault-injection
+	// tests want deterministic move counts.
+	NoFreeze bool
+
 	// Cost passes through to the compiler.
 	Cost astrx.CostOptions
 
@@ -31,6 +48,23 @@ type Options struct {
 	// snapshots along the run.
 	RecordTrace bool
 	TraceEvery  int // moves between snapshots (0 → 500)
+
+	// CheckpointPath, when set, makes Run write a resumable state
+	// snapshot there every CheckpointEvery moves (atomically: tmp file
+	// + rename), and once more at the point of context cancellation.
+	CheckpointPath  string
+	CheckpointEvery int // moves between checkpoints (0 → 5000)
+
+	// Resume restores a run from a checkpoint previously written via
+	// CheckpointPath (load it with LoadCheckpoint). The deck must be the
+	// same; Seed and MaxMoves are taken from the checkpoint.
+	Resume *Checkpoint
+
+	// Faults, when non-nil, injects evaluator panics, NaN costs, and
+	// Newton non-convergence at the injector's configured rates — the
+	// test harness for the recovery machinery. Production runs leave it
+	// nil (a nil injector is inert).
+	Faults *faults.Injector
 }
 
 func (o *Options) defaults() {
@@ -39,6 +73,9 @@ func (o *Options) defaults() {
 	}
 	if o.TraceEvery == 0 {
 		o.TraceEvery = 500
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 5000
 	}
 }
 
@@ -51,6 +88,32 @@ type TraceSample struct {
 	// MaxKCLError is the worst relative KCL residual — the "discrepancy
 	// from KCL-correct voltages" the paper plots.
 	MaxKCLError float64
+}
+
+// FailureStats counts the numerical failures a run absorbed. A healthy
+// run reports zeros everywhere; fault-injected and near-singular
+// problems reports how much trouble the hardened evaluation path ate.
+type FailureStats struct {
+	// PanicsRecovered counts evaluator panics caught and converted into
+	// failed evaluations.
+	PanicsRecovered int
+	// NonFiniteCosts counts evaluations whose cost came back NaN/±Inf
+	// (including injected NaNs).
+	NonFiniteCosts int
+	// Retries counts transient-failure retry attempts of the
+	// retry-then-quarantine policy.
+	Retries int
+	// Quarantined counts evaluations that still failed after all retries
+	// and were surfaced to the annealer as rejections.
+	Quarantined int
+	// RejectedMoves counts moves the annealer rejected for a non-finite
+	// cost (per move class in Result.MoveStats[].Failed).
+	RejectedMoves int
+}
+
+// Total sums all failure events.
+func (f FailureStats) Total() int {
+	return f.PanicsRecovered + f.NonFiniteCosts + f.Quarantined + f.RejectedMoves
 }
 
 // Result is a completed synthesis run.
@@ -67,15 +130,24 @@ type Result struct {
 	Moves     int
 	Accepted  int
 	Froze     bool
+	Cancelled bool
 	Duration  time.Duration
 	EvalCount int
 	MoveStats []anneal.MoveStat
 	Trace     []TraceSample
 	Seed      int64
+
+	// Failures itemizes the numerical failures absorbed along the run.
+	Failures FailureStats
+	// CheckpointErr records the last checkpoint-write failure, if any —
+	// a checkpoint that cannot be written must not kill the run it
+	// exists to protect.
+	CheckpointErr error
 }
 
 // TimePerEval returns the mean wall time per circuit evaluation — the
-// paper's "time/ckt eval" metric.
+// paper's "time/ckt eval" metric. Zero-eval runs (e.g. cancelled at
+// birth) report 0 rather than dividing by zero.
 func (r *Result) TimePerEval() time.Duration {
 	if r.EvalCount == 0 {
 		return 0
@@ -83,34 +155,101 @@ func (r *Result) TimePerEval() time.Duration {
 	return r.Duration / time.Duration(r.EvalCount)
 }
 
-// problem wraps the compiled cost function, counting evaluations.
+// evalRetries bounds the retry-then-quarantine policy: a failed
+// evaluation (panic or non-finite cost) is retried this many times —
+// absorbing transient faults — before the move is quarantined, i.e.
+// surfaced to the annealer as an unconditional rejection.
+const evalRetries = 2
+
+// problem wraps the compiled cost function. It counts evaluations and
+// hardens the evaluation path: evaluator panics are recovered, NaN/Inf
+// costs detected, and both are converted — after bounded retries — into
+// move rejections the annealer counts per move class. The contract with
+// the annealer: every returned cost is either finite or NaN, and NaN
+// means "reject this move" (see anneal.Run).
 type problem struct {
-	c     *astrx.Compiled
-	evals int
+	c   *astrx.Compiled
+	inj *faults.Injector
+
+	evals       int
+	panics      int
+	nanCosts    int
+	retries     int
+	quarantined int
 }
 
 func (p *problem) Vars() []anneal.VarSpec { return p.c.Vars() }
 
 func (p *problem) Cost(x []float64) float64 {
 	p.evals++
-	return p.c.Cost(x)
+	for attempt := 0; ; attempt++ {
+		c, panicked := p.tryCost(x)
+		switch {
+		case panicked:
+			p.panics++
+		case math.IsNaN(c) || math.IsInf(c, 0):
+			p.nanCosts++
+		default:
+			return c
+		}
+		if attempt >= evalRetries {
+			p.quarantined++
+			return math.NaN() // annealer treats NaN as a hard rejection
+		}
+		p.retries++
+	}
 }
 
-// Run synthesizes one deck with one seed.
-func Run(deck *netlist.Deck, opt Options) (*Result, error) {
+// tryCost runs one guarded evaluation attempt.
+func (p *problem) tryCost(x []float64) (cost float64, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cost, panicked = math.NaN(), true
+		}
+	}()
+	p.inj.EvalPanic() // inert when p.inj is nil
+	if p.inj.NaNCost() {
+		return math.NaN(), false
+	}
+	return p.c.Cost(x), false
+}
+
+// Run synthesizes one deck with one seed. Cancelling ctx (SIGINT, a
+// deadline) stops the run cleanly and returns the best-so-far design
+// with Cancelled set — never an error.
+func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) {
 	opt.defaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c, err := astrx.Compile(deck, opt.Cost)
 	if err != nil {
 		return nil, err
 	}
-	p := &problem{c: c}
+	p := &problem{c: c, inj: opt.Faults}
 	vars := c.Vars()
 
 	moves := []anneal.Move{
 		anneal.NewRandomStep("random", vars, 0.3),
 		anneal.NewAllStep("all-cont", vars),
-		newtonMove(c, "newton-full", 12),
-		newtonMove(c, "newton-step", 1),
+		newtonMove(ctx, c, opt.Faults, "newton-full", 12),
+		newtonMove(ctx, c, opt.Faults, "newton-step", 1),
+	}
+
+	var baseDur time.Duration
+	if ck := opt.Resume; ck != nil {
+		if err := ck.check(len(vars)); err != nil {
+			return nil, err
+		}
+		opt.Seed = ck.Seed
+		opt.MaxMoves = ck.MaxMoves
+		c.Weights.Restore(ck.Weights)
+		p.evals = ck.Evals
+		p.panics = ck.Panics
+		p.nanCosts = ck.NonFinite
+		p.retries = ck.Retries
+		p.quarantined = ck.Quarantined
+		baseDur = time.Duration(ck.ElapsedNS)
 	}
 
 	var trace []TraceSample
@@ -135,24 +274,58 @@ func Run(deck *netlist.Deck, opt Options) (*Result, error) {
 		}
 	}
 
-	start := time.Now()
-	res, err := anneal.Run(p, moves, anneal.Options{
+	annealOpt := anneal.Options{
 		Seed:        opt.Seed,
 		MaxMoves:    opt.MaxMoves,
 		Trace:       tracer,
 		TraceEvery:  opt.TraceEvery,
 		BestResetAt: weightFreeze,
-	})
+	}
+	if opt.NoFreeze {
+		annealOpt.FreezeStages = -1
+	}
+	if opt.Resume != nil {
+		annealOpt.Resume = opt.Resume.Anneal
+	}
+
+	start := time.Now()
+	var ckErr error
+	if opt.CheckpointPath != "" {
+		annealOpt.CheckpointEvery = opt.CheckpointEvery
+		annealOpt.OnCheckpoint = func(ack *anneal.Checkpoint) {
+			ck := &Checkpoint{
+				Version:     checkpointVersion,
+				Seed:        opt.Seed,
+				MaxMoves:    opt.MaxMoves,
+				Vars:        len(vars),
+				Anneal:      ack,
+				Weights:     c.Weights.State(),
+				Evals:       p.evals,
+				Panics:      p.panics,
+				NonFinite:   p.nanCosts,
+				Retries:     p.retries,
+				Quarantined: p.quarantined,
+				ElapsedNS:   int64(baseDur + time.Since(start)),
+			}
+			if err := SaveCheckpoint(opt.CheckpointPath, ck); err != nil {
+				ckErr = err
+			}
+		}
+	}
+
+	res, err := anneal.Run(ctx, p, moves, annealOpt)
 	if err != nil {
 		return nil, fmt.Errorf("oblx: %w", err)
 	}
-	dur := time.Since(start)
+	dur := baseDur + time.Since(start)
 
 	// Polish: a final full Newton solve from the best point tightens the
 	// bias to simulator-grade dc-correctness (the annealer's freezing
-	// tolerance is looser than a simulator's).
+	// tolerance is looser than a simulator's). A cancelled run still
+	// gets its polish — it is bounded work and the returned design
+	// should be the best usable one.
 	best := append([]float64(nil), res.Best...)
-	best, dcOK := polishDC(c, best)
+	best, dcOK := polishDC(context.WithoutCancel(ctx), c, opt.Faults, best)
 
 	st := c.Evaluate(best)
 	out := &Result{
@@ -164,11 +337,20 @@ func Run(deck *netlist.Deck, opt Options) (*Result, error) {
 		Moves:     res.Moves,
 		Accepted:  res.Accepted,
 		Froze:     res.Froze,
+		Cancelled: res.Cancelled,
 		Duration:  dur,
 		EvalCount: p.evals,
 		MoveStats: res.MoveStats,
 		Trace:     trace,
 		Seed:      opt.Seed,
+		Failures: FailureStats{
+			PanicsRecovered: p.panics,
+			NonFiniteCosts:  p.nanCosts,
+			Retries:         p.retries,
+			Quarantined:     p.quarantined,
+			RejectedMoves:   res.NonFinite,
+		},
+		CheckpointErr: ckErr,
 	}
 	return out, nil
 }
@@ -180,13 +362,15 @@ func Run(deck *netlist.Deck, opt Options) (*Result, error) {
 // the (penalty-weighted) cost rises slightly: reporting performance at a
 // dc-inconsistent point would be fiction. On solver failure the original
 // vector is returned unchanged.
-func polishDC(c *astrx.Compiled, x []float64) ([]float64, bool) {
+func polishDC(ctx context.Context, c *astrx.Compiled, inj *faults.Injector, x []float64) ([]float64, bool) {
 	dp := c.DCProblem(x)
 	if dp.N() == 0 {
 		return x, true
 	}
 	v0 := append([]float64(nil), x[c.NUser:]...)
-	r, err := dcsolve.Solve(dp, v0, dcsolve.Options{MaxIter: 200, GminSteps: 4})
+	r, err := dcsolve.Solve(ctx, dp, v0, dcsolve.Options{
+		MaxIter: 200, GminSteps: 4, FailHook: inj.NewtonHook(),
+	})
 	if err != nil {
 		return x, false
 	}
@@ -197,8 +381,9 @@ func polishDC(c *astrx.Compiled, x []float64) ([]float64, bool) {
 
 // newtonMove builds the gradient-directed move class: replace the node
 // voltages with the result of iters damped Newton-Raphson steps at the
-// current design variables.
-func newtonMove(c *astrx.Compiled, label string, iters int) anneal.Move {
+// current design variables. A Newton failure (real or injected) simply
+// declines the proposal — the annealer falls back to its other classes.
+func newtonMove(ctx context.Context, c *astrx.Compiled, inj *faults.Injector, label string, iters int) anneal.Move {
 	return &anneal.FuncMove{
 		Label: label,
 		Fn: func(cur, next []float64, rng *rand.Rand) bool {
@@ -209,14 +394,16 @@ func newtonMove(c *astrx.Compiled, label string, iters int) anneal.Move {
 			}
 			v := append([]float64(nil), cur[c.NUser:]...)
 			if iters <= 1 {
-				stepped, ok := dcsolve.Step(dp, v, dcsolve.Options{})
-				if !ok {
+				stepped, err := dcsolve.Step(dp, v, dcsolve.Options{FailHook: inj.NewtonHook()})
+				if err != nil {
 					return false
 				}
 				copy(next[c.NUser:], stepped)
 				return true
 			}
-			r, _ := dcsolve.Solve(dp, v, dcsolve.Options{MaxIter: iters, BestEffort: true})
+			r, _ := dcsolve.Solve(ctx, dp, v, dcsolve.Options{
+				MaxIter: iters, BestEffort: true, FailHook: inj.NewtonHook(),
+			})
 			if r == nil {
 				return false
 			}
@@ -238,31 +425,72 @@ func newtonMove(c *astrx.Compiled, label string, iters int) anneal.Move {
 	}
 }
 
+// runFn is the seam RunBest uses to launch individual runs; tests
+// substitute it to exercise the per-run failure paths deterministically.
+var runFn = Run
+
+// reseedOffset separates a retry's random stream from the failed
+// attempt's (a large prime, like the per-run 7919 stride).
+const reseedOffset = 104729
+
 // RunBest runs n independent seeded anneals (the paper's "5-10 annealing
 // runs performed overnight") in parallel goroutines and returns the
-// lowest-cost result along with every per-run result.
-func RunBest(deck *netlist.Deck, n int, opt Options) (*Result, []*Result, error) {
+// lowest-cost surviving result, every successful per-run result, and a
+// per-run error slice (nil entries for successes). A failed run is
+// retried once with a reseeded stream after a short backoff; if it fails
+// again it is reported in its error slot but no longer discards its
+// successful siblings. Only when every run fails is the best result nil.
+//
+// Cancelling ctx stops all runs; each returns its best-so-far design, so
+// a deadline-bounded RunBest still yields n usable candidates.
+//
+// Checkpointing is a single-run feature: CheckpointPath/Resume are
+// ignored here (n parallel runs would race on one file).
+func RunBest(ctx context.Context, deck *netlist.Deck, n int, opt Options) (*Result, []*Result, []error) {
 	if n <= 0 {
 		n = 1
 	}
-	type slot struct {
-		r   *Result
-		err error
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	slots := make([]slot, n)
-	done := make(chan int, n)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		wg.Add(1)
 		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				// A panic that escapes Run's own recovery (e.g. from
+				// Compile) must not kill the sibling runs.
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("oblx: run %d panicked: %v", i, r)
+				}
+			}()
 			o := opt
 			o.Seed = opt.Seed + int64(i)*7919
-			r, err := Run(deck, o)
-			slots[i] = slot{r: r, err: err}
-			done <- i
+			o.CheckpointPath = ""
+			o.Resume = nil
+			r, err := runFn(ctx, deck, o)
+			if err != nil && ctx.Err() == nil {
+				// One reseeded retry with backoff: a different random
+				// stream avoids deterministically replaying the failure,
+				// and the backoff de-synchronizes retries from whatever
+				// transient (fault burst, resource pressure) caused it.
+				time.Sleep(time.Duration(20*(i+1)) * time.Millisecond)
+				o.Seed += reseedOffset
+				if r2, err2 := runFn(ctx, deck, o); err2 == nil {
+					r, err = r2, nil
+				} else {
+					err = fmt.Errorf("oblx: run %d (seed %d) failed: %w (reseeded retry: %v)",
+						i, opt.Seed+int64(i)*7919, err, err2)
+				}
+			}
+			results[i], errs[i] = r, err
 		}(i)
 	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
+	wg.Wait()
+
 	var best *Result
 	all := make([]*Result, 0, n)
 	better := func(a, b *Result) bool { // is a better than b?
@@ -271,14 +499,14 @@ func RunBest(deck *netlist.Deck, n int, opt Options) (*Result, []*Result, error)
 		}
 		return a.Cost.Total < b.Cost.Total
 	}
-	for _, s := range slots {
-		if s.err != nil {
-			return nil, nil, s.err
+	for i, r := range results {
+		if errs[i] != nil || r == nil {
+			continue
 		}
-		all = append(all, s.r)
-		if best == nil || better(s.r, best) {
-			best = s.r
+		all = append(all, r)
+		if best == nil || better(r, best) {
+			best = r
 		}
 	}
-	return best, all, nil
+	return best, all, errs
 }

@@ -1,6 +1,7 @@
 package oblx
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -84,7 +85,7 @@ func parse(t *testing.T, src string) *netlist.Deck {
 
 func TestSynthesizeDivider(t *testing.T) {
 	deck := parse(t, dividerDeck)
-	res, err := Run(deck, Options{Seed: 1, MaxMoves: 15_000})
+	res, err := Run(context.Background(), deck, Options{Seed: 1, MaxMoves: 15_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSynthesizeDiffAmp(t *testing.T) {
 		t.Skip("synthesis run in -short mode")
 	}
 	deck := parse(t, diffAmpDeck)
-	res, err := Run(deck, Options{Seed: 3, MaxMoves: 60_000, RecordTrace: true})
+	res, err := Run(context.Background(), deck, Options{Seed: 3, MaxMoves: 60_000, RecordTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,9 +156,11 @@ func TestSynthesizeDiffAmp(t *testing.T) {
 
 func TestRunBestPicksLowestCost(t *testing.T) {
 	deck := parse(t, dividerDeck)
-	best, all, err := RunBest(deck, 3, Options{Seed: 11, MaxMoves: 6_000})
-	if err != nil {
-		t.Fatal(err)
+	best, all, errs := RunBest(context.Background(), deck, 3, Options{Seed: 11, MaxMoves: 6_000})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
 	}
 	if len(all) != 3 {
 		t.Fatalf("runs = %d", len(all))
@@ -174,7 +177,7 @@ func TestRunBestPicksLowestCost(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	d := parse(t, ".jig j\nr1 a 0 1\nvin a 0 0 ac 1\n.pz tf v(a) vin\n.ends\n")
-	if _, err := Run(d, Options{}); err == nil {
+	if _, err := Run(context.Background(), d, Options{}); err == nil {
 		t.Error("deck without bias must error")
 	}
 }

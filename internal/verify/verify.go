@@ -10,6 +10,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -77,7 +78,10 @@ func Design(c *astrx.Compiled, x []float64, predicted map[string]float64) (*Repo
 	converged := true
 	if dp.N() > 0 {
 		v0 := append([]float64(nil), x[c.NUser:]...)
-		r, err := dcsolve.Solve(dp, v0,
+		// Verification is short and runs after synthesis, often to salvage
+		// a cancelled run's best-so-far — so it deliberately does not
+		// inherit the (possibly already-cancelled) synthesis context.
+		r, err := dcsolve.Solve(context.Background(), dp, v0,
 			dcsolve.Options{MaxIter: 300, GminSteps: 6, BestEffort: true})
 		if r == nil {
 			return nil, fmt.Errorf("verify: reference bias solve failed: %w", err)

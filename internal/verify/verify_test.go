@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestVerifySynthesizedDiffAmp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := oblx.Run(d, oblx.Options{Seed: 5, MaxMoves: 50_000})
+	res, err := oblx.Run(context.Background(), d, oblx.Options{Seed: 5, MaxMoves: 50_000})
 	if err != nil {
 		t.Fatal(err)
 	}

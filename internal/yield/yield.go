@@ -20,6 +20,7 @@
 package yield
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,14 +42,21 @@ type Sensitivity struct {
 
 // Sensitivities computes the relative sensitivity matrix of all specs to
 // all user design variables at x, using central differences with a true
-// Newton bias re-solve per perturbation.
-func Sensitivities(c *astrx.Compiled, x []float64) ([]Sensitivity, error) {
-	base, err := simulateAt(c, x)
+// Newton bias re-solve per perturbation. Cancelling ctx aborts between
+// perturbations.
+func Sensitivities(ctx context.Context, c *astrx.Compiled, x []float64) ([]Sensitivity, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base, err := simulateAt(ctx, c, x)
 	if err != nil {
 		return nil, err
 	}
 	var out []Sensitivity
 	for vi := 0; vi < c.NUser; vi++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("yield: %w", err)
+		}
 		v := c.Vars()[vi]
 		h := 0.01 * math.Abs(x[vi])
 		if h == 0 {
@@ -58,11 +66,11 @@ func Sensitivities(c *astrx.Compiled, x []float64) ([]Sensitivity, error) {
 		xm := append([]float64(nil), x...)
 		xp[vi] += h
 		xm[vi] -= h
-		up, err := simulateAt(c, xp)
+		up, err := simulateAt(ctx, c, xp)
 		if err != nil {
 			return nil, fmt.Errorf("yield: +%s: %w", v.Name, err)
 		}
-		dn, err := simulateAt(c, xm)
+		dn, err := simulateAt(ctx, c, xm)
 		if err != nil {
 			return nil, fmt.Errorf("yield: -%s: %w", v.Name, err)
 		}
@@ -95,12 +103,12 @@ func TopSensitivities(ss []Sensitivity, n int) []Sensitivity {
 }
 
 // simulateAt evaluates all specs at a true (Newton-solved) bias point.
-func simulateAt(c *astrx.Compiled, x []float64) (map[string]float64, error) {
+func simulateAt(ctx context.Context, c *astrx.Compiled, x []float64) (map[string]float64, error) {
 	xr := append([]float64(nil), x...)
 	dp := c.DCProblem(xr)
 	if dp.N() > 0 {
 		v0 := append([]float64(nil), xr[c.NUser:]...)
-		r, err := dcsolve.Solve(dp, v0, dcsolve.Options{MaxIter: 250, GminSteps: 5})
+		r, err := dcsolve.Solve(ctx, dp, v0, dcsolve.Options{MaxIter: 250, GminSteps: 5})
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +171,10 @@ type MCResult struct {
 // per *instance* via cloned models), which keeps the encapsulated
 // evaluators untouched — variation enters exactly where a foundry's
 // statistical models would.
-func MonteCarlo(deckSrc string, x []float64, n int, mm MismatchModel, seed int64) (*MCResult, error) {
+func MonteCarlo(ctx context.Context, deckSrc string, x []float64, n int, mm MismatchModel, seed int64) (*MCResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mm.defaults()
 	if n <= 0 {
 		n = 50
@@ -189,6 +200,11 @@ func MonteCarlo(deckSrc string, x []float64, n int, mm MismatchModel, seed int64
 	results := make([]sampleResult, 0, n)
 
 	for s := 0; s < n; s++ {
+		if ctx.Err() != nil {
+			// Cancellation degrades gracefully: the estimate is built from
+			// the samples already simulated instead of being thrown away.
+			break
+		}
 		// Clone the deck's model cards with per-sample global shifts plus
 		// per-device mismatch folded into a per-sample process tilt.
 		// (True per-instance mismatch would need one model per device;
@@ -232,10 +248,14 @@ func MonteCarlo(deckSrc string, x []float64, n int, mm MismatchModel, seed int64
 		if len(x) == len(comp.Vars()) {
 			copy(xs[comp.NUser:], x[comp.NUser:])
 		}
-		specs, err := simulateAt(comp, xs)
+		specs, err := simulateAt(ctx, comp, xs)
 		results = append(results, sampleResult{specs: specs, ok: err == nil})
 	}
-	// Aggregate.
+	if len(results) == 0 {
+		return nil, fmt.Errorf("yield: no samples completed: %w", ctx.Err())
+	}
+	// Aggregate over the samples that actually ran.
+	n = len(results)
 	res := &MCResult{Samples: n}
 	acc := map[string][]float64{}
 	pass := 0
@@ -337,7 +357,10 @@ type CornerResult struct {
 // Corners re-simulates a finished design at each corner — the
 // "performance over varying operating conditions" view the paper's
 // conclusion asks for.
-func Corners(deckSrc string, x []float64, corners []Corner) ([]CornerResult, error) {
+func Corners(ctx context.Context, deckSrc string, x []float64, corners []Corner) ([]CornerResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(corners) == 0 {
 		corners = StandardCorners
 	}
@@ -347,6 +370,9 @@ func Corners(deckSrc string, x []float64, corners []Corner) ([]CornerResult, err
 	}
 	out := make([]CornerResult, 0, len(corners))
 	for _, cn := range corners {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("yield: %w", err)
+		}
 		deck, err := netlist.Parse(deckSrc)
 		if err != nil {
 			return nil, err
@@ -378,7 +404,7 @@ func Corners(deckSrc string, x []float64, corners []Corner) ([]CornerResult, err
 			copy(xs[comp.NUser:], x[comp.NUser:])
 		}
 		cr := CornerResult{Corner: cn}
-		specs, err := simulateAt(comp, xs)
+		specs, err := simulateAt(ctx, comp, xs)
 		if err != nil {
 			cr.Err = err
 			out = append(out, cr)

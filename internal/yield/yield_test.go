@@ -1,6 +1,7 @@
 package yield
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -90,7 +91,7 @@ func compileAt(t *testing.T, src string) (*astrx.Compiled, []float64) {
 func TestSensitivitiesDivider(t *testing.T) {
 	c, x := compileAt(t, dividerDeck)
 	x[0] = 9000 // gain = 0.9
-	ss, err := Sensitivities(c, x)
+	ss, err := Sensitivities(context.Background(), c, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSensitivitiesDivider(t *testing.T) {
 func TestSensitivitiesOTA(t *testing.T) {
 	c, x := compileAt(t, otaDeck)
 	x[3] = 40e-6 // Ib
-	ss, err := Sensitivities(c, x)
+	ss, err := Sensitivities(context.Background(), c, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestMonteCarloDivider(t *testing.T) {
 	// identical — yield is 0 or 1 depending on the nominal point.
 	_, x := compileAt(t, dividerDeck)
 	x[0] = 9000
-	res, err := MonteCarlo(dividerDeck, x, 10, MismatchModel{}, 3)
+	res, err := MonteCarlo(context.Background(), dividerDeck, x, 10, MismatchModel{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestMonteCarloOTA(t *testing.T) {
 	c, x := compileAt(t, otaDeck)
 	x[0], x[1], x[2], x[3] = 60e-6, 30e-6, 20e-6, 40e-6
 	_ = c
-	res, err := MonteCarlo(otaDeck, x, 24, MismatchModel{VthSigma: 0.03}, 7)
+	res, err := MonteCarlo(context.Background(), otaDeck, x, 24, MismatchModel{VthSigma: 0.03}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,10 +205,10 @@ func TestMonteCarloOTA(t *testing.T) {
 }
 
 func TestMonteCarloErrors(t *testing.T) {
-	if _, err := MonteCarlo("garbage (", nil, 5, MismatchModel{}, 1); err == nil {
+	if _, err := MonteCarlo(context.Background(), "garbage (", nil, 5, MismatchModel{}, 1); err == nil {
 		t.Error("bad deck must error")
 	}
-	if _, err := MonteCarlo(dividerDeck, []float64{}, 5, MismatchModel{}, 1); err == nil {
+	if _, err := MonteCarlo(context.Background(), dividerDeck, []float64{}, 5, MismatchModel{}, 1); err == nil {
 		t.Error("short x must error")
 	}
 }
@@ -215,7 +216,7 @@ func TestMonteCarloErrors(t *testing.T) {
 func TestCornersOTA(t *testing.T) {
 	_, x := compileAt(t, otaDeck)
 	x[0], x[1], x[2], x[3] = 60e-6, 30e-6, 20e-6, 40e-6
-	rs, err := Corners(otaDeck, x, nil)
+	rs, err := Corners(context.Background(), otaDeck, x, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestCornersOTA(t *testing.T) {
 func TestCornersResistorOnlyUnaffected(t *testing.T) {
 	_, x := compileAt(t, dividerDeck)
 	x[0] = 9000
-	rs, err := Corners(dividerDeck, x, []Corner{{Name: "a", DVth: 0.1, BetaScale: 0.5}, {Name: "b"}})
+	rs, err := Corners(context.Background(), dividerDeck, x, []Corner{{Name: "a", DVth: 0.1, BetaScale: 0.5}, {Name: "b"}})
 	if err != nil {
 		t.Fatal(err)
 	}
