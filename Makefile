@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race
+.PHONY: ci vet build test race bench-json
 
 ci: vet build test race
 
@@ -17,4 +17,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults
+	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/metrics
+
+# bench-json runs the Table 2 cost-evaluation benchmarks and records
+# ns/eval + evals/sec per benchmark deck in BENCH_oblx.json, so the
+# paper's headline throughput figure is trackable across commits.
+bench-json:
+	$(GO) test -run '^$$' -bench Table2Eval . | $(GO) run ./cmd/benchjson -filter Table2Eval -out BENCH_oblx.json

@@ -64,6 +64,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "astrx:", err)
 		os.Exit(1)
 	}
+	// Pre-flight before compiling: every detectable mistake is reported
+	// at once (dangling transfer functions, bad variable ranges, ...),
+	// not just the first one Compile happens to trip over.
+	if err := deck.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "astrx: deck failed validation:")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	comp, err := astrx.Compile(deck, astrx.CostOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "astrx:", err)

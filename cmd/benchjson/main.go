@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// summary of evaluation throughput, for tracking the paper's Table 2
+// "time/ckt evaluation" figure across commits:
+//
+//	go test -run '^$' -bench Table2Eval . | benchjson -out BENCH_oblx.json
+//
+// Each Table2Eval benchmark iteration is one cost-function evaluation,
+// so the reported ns/op is directly ns per evaluation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's throughput summary.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerEval   float64 `json:"ns_per_eval"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
+// Report is the whole output file.
+type Report struct {
+	Source  string  `json:"source"` // the benchmark filter these entries came from
+	Entries []Entry `json:"entries"`
+}
+
+// benchLine matches standard go-test benchmark result lines:
+//
+//	BenchmarkTable2EvalSimpleOTA-8   2500   452000 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+func parse(r io.Reader, filter string) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if filter != "" && !strings.Contains(name, filter) {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		e := Entry{Name: name, Iterations: iters, NsPerEval: ns}
+		if ns > 0 {
+			e.EvalsPerSec = 1e9 / ns
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	filter := flag.String("filter", "", "keep only benchmarks whose name contains this substring")
+	flag.Parse()
+
+	entries, err := parse(os.Stdin, *filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	rep := Report{Source: "go test -bench", Entries: entries}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d entries to %s\n", len(entries), *out)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: astrx
+BenchmarkTable2EvalSimpleOTA-8   	    2500	    452103 ns/op
+BenchmarkTable2EvalOTA-8         	    1800	    612402.5 ns/op
+BenchmarkTable1Compile-8         	     300	   3921034 ns/op
+PASS
+ok  	astrx	12.345s
+`
+
+func TestParse(t *testing.T) {
+	entries, err := parse(strings.NewReader(sample), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.Name != "Table2EvalSimpleOTA" || e.Iterations != 2500 || e.NsPerEval != 452103 {
+		t.Errorf("first entry wrong: %+v", e)
+	}
+	wantRate := 1e9 / 452103
+	if diff := e.EvalsPerSec - wantRate; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("evals/sec %g, want %g", e.EvalsPerSec, wantRate)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	entries, err := parse(strings.NewReader(sample), "Table2Eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("filtered: got %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.Name, "Table2Eval") {
+			t.Errorf("filter leaked %q", e.Name)
+		}
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	entries, err := parse(strings.NewReader("nothing here\nPASS\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("noise produced entries: %+v", entries)
+	}
+}

@@ -27,10 +27,42 @@ import (
 
 	"astrx/internal/bench"
 	"astrx/internal/faults"
+	"astrx/internal/metrics"
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
 	"astrx/internal/verify"
 )
+
+// flagProblems collects every flag-validation error at once so a typo'd
+// invocation gets one complete diagnosis instead of a fail-fix-fail
+// loop. statFn is os.Stat in production, injectable for tests.
+func flagProblems(moves, runs, ckptEvery int, ckptPath string, resume bool,
+	statFn func(string) (os.FileInfo, error)) []string {
+	var probs []string
+	if moves < 1 {
+		probs = append(probs, fmt.Sprintf("-moves must be >= 1 (got %d)", moves))
+	}
+	if runs < 1 {
+		probs = append(probs, fmt.Sprintf("-runs must be >= 1 (got %d)", runs))
+	}
+	if ckptEvery < 0 {
+		probs = append(probs, fmt.Sprintf("-checkpoint-every must be >= 0 (got %d)", ckptEvery))
+	}
+	if resume {
+		switch {
+		case ckptPath == "":
+			probs = append(probs, "-resume requires -checkpoint")
+		default:
+			if _, err := statFn(ckptPath); err != nil {
+				probs = append(probs, fmt.Sprintf("-resume: checkpoint file %q does not exist (%v)", ckptPath, err))
+			}
+		}
+		if runs > 1 {
+			probs = append(probs, "-resume is a single-run feature; drop -runs")
+		}
+	}
+	return probs
+}
 
 func main() {
 	benchName := flag.String("bench", "", "synthesize a builtin benchmark")
@@ -45,7 +77,16 @@ func main() {
 	faultPanic := flag.Float64("fault-panic", 0, "inject evaluator panics at this rate (testing)")
 	faultNaN := flag.Float64("fault-nan", 0, "inject NaN costs at this rate (testing)")
 	faultNewton := flag.Float64("fault-newton", 0, "inject Newton non-convergence at this rate (testing)")
+	showMetrics := flag.Bool("metrics", false, "print a run-metrics summary (Prometheus text format) at exit")
 	flag.Parse()
+
+	if probs := flagProblems(*moves, *runs, *ckptEvery, *ckptPath, *resume, os.Stat); len(probs) > 0 {
+		for _, p := range probs {
+			fmt.Fprintln(os.Stderr, "oblx:", p)
+		}
+		fmt.Fprintln(os.Stderr, "usage: oblx [-bench name | deck-file] [-moves N] [-runs K] [-seed S] [-timeout D] [-checkpoint F [-resume]]")
+		os.Exit(2)
+	}
 
 	var src, title string
 	switch {
@@ -77,6 +118,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oblx:", err)
 		os.Exit(1)
 	}
+	if err := deck.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "oblx: deck failed validation:")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// SIGINT/SIGTERM cancel the run; the annealer returns best-so-far.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,14 +146,6 @@ func main() {
 		})
 	}
 	if *resume {
-		if *ckptPath == "" {
-			fmt.Fprintln(os.Stderr, "oblx: -resume requires -checkpoint")
-			os.Exit(2)
-		}
-		if *runs > 1 {
-			fmt.Fprintln(os.Stderr, "oblx: -resume is a single-run feature; drop -runs")
-			os.Exit(2)
-		}
 		ck, err := oblx.LoadCheckpoint(*ckptPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oblx:", err)
@@ -192,4 +230,34 @@ func main() {
 	}
 	fmt.Printf("  reference bias: %d Newton iterations, max |KCL| %.3g A\n",
 		rep.BiasIterations, rep.MaxKCL)
+
+	if *showMetrics {
+		printMetrics(best)
+	}
+}
+
+// printMetrics renders the run's statistics through the same metrics
+// registry oblxd serves at /debug/metrics, so scripted users get one
+// machine-readable format from both the CLI and the daemon.
+func printMetrics(best *oblx.Result) {
+	reg := metrics.New()
+	reg.Counter("oblx_evals_total").Add(int64(best.EvalCount))
+	reg.SetHelp("oblx_evals_total", "circuit evaluations this run")
+	reg.Counter("oblx_moves_total").Add(int64(best.Moves))
+	reg.Counter("oblx_moves_accepted_total").Add(int64(best.Accepted))
+	if secs := best.Duration.Seconds(); secs > 0 {
+		reg.Gauge("oblx_evals_per_sec").Set(float64(best.EvalCount) / secs)
+	}
+	reg.Gauge("oblx_time_per_eval_seconds").Set(best.TimePerEval().Seconds())
+	reg.Gauge("oblx_run_seconds").Set(best.Duration.Seconds())
+	reg.Gauge("oblx_cost_total").Set(best.Cost.Total)
+	f := best.Failures
+	for name, v := range map[string]int{
+		"panic_recovered": f.PanicsRecovered, "non_finite_cost": f.NonFiniteCosts,
+		"retry": f.Retries, "quarantined": f.Quarantined, "rejected_move": f.RejectedMoves,
+	} {
+		reg.Counter("oblx_failures_total", "kind", name).Add(int64(v))
+	}
+	fmt.Println()
+	reg.WriteText(os.Stdout)
 }

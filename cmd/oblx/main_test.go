@@ -1,0 +1,97 @@
+package main
+
+import (
+	"io/fs"
+	"os"
+	"strings"
+	"testing"
+)
+
+func statExists(string) (os.FileInfo, error)  { return nil, nil }
+func statMissing(string) (os.FileInfo, error) { return nil, fs.ErrNotExist }
+
+func TestFlagProblems(t *testing.T) {
+	cases := []struct {
+		name            string
+		moves, runs, ce int
+		ckpt            string
+		resume          bool
+		stat            func(string) (os.FileInfo, error)
+		wantSubs        []string
+	}{
+		{
+			name:  "all defaults fine",
+			moves: 120_000, runs: 1, ce: 5000,
+			stat: statExists,
+		},
+		{
+			name:  "zero runs",
+			moves: 1000, runs: 0, ce: 5000,
+			stat:     statExists,
+			wantSubs: []string{"-runs must be >= 1"},
+		},
+		{
+			name:  "negative moves",
+			moves: -5, runs: 1, ce: 5000,
+			stat:     statExists,
+			wantSubs: []string{"-moves must be >= 1"},
+		},
+		{
+			name:  "negative checkpoint interval",
+			moves: 1000, runs: 1, ce: -1,
+			stat:     statExists,
+			wantSubs: []string{"-checkpoint-every must be >= 0"},
+		},
+		{
+			name:  "resume without checkpoint",
+			moves: 1000, runs: 1, ce: 5000,
+			resume:   true,
+			stat:     statExists,
+			wantSubs: []string{"-resume requires -checkpoint"},
+		},
+		{
+			name:  "resume with missing file",
+			moves: 1000, runs: 1, ce: 5000,
+			ckpt: "run.ckpt", resume: true,
+			stat:     statMissing,
+			wantSubs: []string{`"run.ckpt" does not exist`},
+		},
+		{
+			name:  "resume with multiple runs",
+			moves: 1000, runs: 4, ce: 5000,
+			ckpt: "run.ckpt", resume: true,
+			stat:     statExists,
+			wantSubs: []string{"single-run feature"},
+		},
+		{
+			name:  "several problems reported together",
+			moves: 0, runs: -2, ce: -7,
+			stat: statExists,
+			wantSubs: []string{
+				"-moves must be >= 1",
+				"-runs must be >= 1",
+				"-checkpoint-every must be >= 0",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probs := flagProblems(tc.moves, tc.runs, tc.ce, tc.ckpt, tc.resume, tc.stat)
+			if len(tc.wantSubs) == 0 {
+				if len(probs) != 0 {
+					t.Fatalf("unexpected problems: %v", probs)
+				}
+				return
+			}
+			joined := strings.Join(probs, "\n")
+			for _, want := range tc.wantSubs {
+				if !strings.Contains(joined, want) {
+					t.Errorf("problems %q missing %q", joined, want)
+				}
+			}
+			if len(probs) != len(tc.wantSubs) {
+				t.Errorf("got %d problems %q, want %d", len(probs), joined, len(tc.wantSubs))
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command oblxd is the synthesis daemon: it serves the ASTRX/OBLX
+// toolchain over HTTP, running submitted decks on a bounded worker pool
+// with streaming progress, cancellation, and checkpoint/restart.
+//
+//	oblxd -addr :8080 -state-dir /var/lib/oblxd
+//
+// Submit a deck and watch it anneal:
+//
+//	curl -s -X POST --data-binary @ota.ckt 'localhost:8080/v1/jobs?max_moves=120000'
+//	curl -N localhost:8080/v1/jobs/<id>/events
+//	curl -s localhost:8080/v1/jobs/<id>/result
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new submissions get
+// 503, running jobs checkpoint at their exact annealing move, and a
+// restarted daemon pointed at the same -state-dir resumes them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"astrx/internal/metrics"
+	"astrx/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		stateDir   = flag.String("state-dir", "", "directory for job records and checkpoints (empty: in-memory only, jobs die with the daemon)")
+		workers    = flag.Int("workers", 0, "concurrent synthesis jobs (0: GOMAXPROCS)")
+		ckptEvery  = flag.Int("checkpoint-every", 5000, "moves between job checkpoints")
+		progEvery  = flag.Int("progress-every", 500, "default moves between progress events")
+		movesLimit = flag.Int("max-moves-limit", 0, "reject jobs asking for more moves than this (0: no limit)")
+		drainGrace = flag.Duration("drain-grace", 60*time.Second, "how long shutdown waits for jobs to checkpoint")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *stateDir, *workers, *ckptEvery, *progEvery, *movesLimit, *drainGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "oblxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, drainGrace time.Duration) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
+	}
+	if ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", ckptEvery)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	mgr, err := server.New(server.Options{
+		StateDir:        stateDir,
+		Workers:         workers,
+		CheckpointEvery: ckptEvery,
+		ProgressEvery:   progEvery,
+		MaxMovesLimit:   movesLimit,
+		Registry:        metrics.New(),
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: mgr.Handler(),
+		// Job streams are long-lived; only bound the read side.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("oblxd: listening on %s (state-dir=%q)", addr, stateDir)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("oblxd: shutting down — draining jobs (grace %s)", drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	// Drain the job manager first so in-flight anneals checkpoint; the
+	// HTTP server follows once event streams have terminated.
+	if err := mgr.Shutdown(grace); err != nil {
+		logger.Printf("oblxd: %v", err)
+	}
+	if err := srv.Shutdown(grace); err != nil {
+		srv.Close()
+	}
+	logger.Printf("oblxd: bye")
+	return nil
+}

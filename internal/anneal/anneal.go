@@ -143,6 +143,16 @@ type Options struct {
 	Trace      func(TracePoint)
 	TraceEvery int // 0 → 500
 
+	// Progress, when set together with a positive ProgressEvery, receives
+	// a TracePoint at the top of every ProgressEvery-th move — before the
+	// proposal, unconditionally. Unlike Trace (which fires on the
+	// post-acceptance path and is skipped by rejected/no-op proposals),
+	// Progress is a liveness signal: a run whose proposals all fail still
+	// reports temperature and best-so-far on schedule. It is invoked
+	// synchronously on the annealing goroutine; keep it cheap or hand off.
+	Progress      func(TracePoint)
+	ProgressEvery int
+
 	// BestResetAt, when positive, re-bases the best-so-far bookkeeping
 	// at that move: callers whose cost function is nonstationary early
 	// in the run (e.g. OBLX's adaptive constraint weights settle during
@@ -187,13 +197,13 @@ func (o *Options) defaults() {
 
 // MoveStat reports per-class statistics after a run.
 type MoveStat struct {
-	Name     string
-	Proposed int
-	Accepted int
+	Name     string `json:"name"`
+	Proposed int    `json:"proposed"`
+	Accepted int    `json:"accepted"`
 	// Failed counts proposals of this class whose cost came back
 	// non-finite and were rejected outright.
-	Failed  int
-	Quality float64
+	Failed  int     `json:"failed"`
+	Quality float64 `json:"quality"`
 }
 
 // Result is the outcome of a Run.
@@ -341,6 +351,12 @@ func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, er
 		if opt.OnCheckpoint != nil && opt.CheckpointEvery > 0 &&
 			mv > startMove && mv%opt.CheckpointEvery == 0 {
 			opt.OnCheckpoint(capture(mv))
+		}
+		if opt.Progress != nil && opt.ProgressEvery > 0 && mv%opt.ProgressEvery == 0 {
+			opt.Progress(TracePoint{
+				Move: mv, Temp: temp, Cost: curCost, BestCost: bestCost,
+				AccRate: accRate, X: append([]float64(nil), cur...),
+			})
 		}
 
 		progress := float64(mv) / float64(opt.MaxMoves)

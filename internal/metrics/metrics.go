@@ -1,0 +1,357 @@
+// Package metrics is a small, dependency-free instrumentation registry
+// for the synthesis service: counters, gauges, and fixed-bucket
+// histograms, exported in the Prometheus text exposition format at
+// GET /debug/metrics. It exists so both the oblxd daemon and the oblx
+// CLI can report evals/sec, accept ratios, queue depths, and per-job
+// wall times without pulling an external client library into a
+// reproduction that is deliberately stdlib-only.
+//
+// Metrics are identified by a family name plus an optional ordered
+// label list; registering the same (name, labels) twice returns the
+// same metric, so call sites can look metrics up cheaply instead of
+// caching them. All operations are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative n is ignored — counters only
+// go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket counts are cumulative, +Inf is implicit).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// DurationBuckets is a general-purpose bucket ladder for wall times in
+// seconds: 10 ms .. ~30 min in roughly 3× steps.
+var DurationBuckets = []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 1800}
+
+// metricKind tags a family so the exporter can emit one # TYPE line per
+// family and reject kind clashes.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family groups every labeled instance of one metric name.
+type family struct {
+	name string
+	kind metricKind
+	help string
+	// insertion-ordered label sets for stable output
+	order []string
+	byKey map[string]any // labelKey → *Counter/*Gauge/*Histogram/func() float64
+	keyLb map[string]string
+}
+
+// Registry holds a set of metric families. The zero value is not usable;
+// call New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders an ordered k,v pair list as {k="v",...}; empty
+// pairs render as "".
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key/value list")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the (family, labels) slot, verifying the kind.
+func (r *Registry) lookup(name string, kind metricKind, kv []string, mk func() any) any {
+	key := labelString(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{
+			name:  name,
+			kind:  kind,
+			byKey: make(map[string]any),
+			keyLb: make(map[string]string),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	m, ok := f.byKey[key]
+	if !ok {
+		m = mk()
+		f.byKey[key] = m
+		f.keyLb[key] = key
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// Counter returns the counter for name with the given ordered label
+// key/value pairs, registering it on first use.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	return r.lookup(name, kindCounter, kv, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name with the given labels.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	return r.lookup(name, kindGauge, kv, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name with the given labels. The
+// bucket bounds are fixed by the first registration of the family.
+func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
+	return r.lookup(name, kindHistogram, kv, func() any {
+		b := append([]float64(nil), buckets...)
+		sort.Float64s(b)
+		return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+	}).(*Histogram)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the natural shape for queue depths and pool sizes owned by another
+// structure. Re-registering replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
+	key := labelString(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kindGaugeFunc, byKey: make(map[string]any), keyLb: make(map[string]string)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kindGaugeFunc {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as gauge func", name, f.kind))
+	}
+	if _, ok := f.byKey[key]; !ok {
+		f.order = append(f.order, key)
+	}
+	f.byKey[key] = fn
+}
+
+// SetHelp attaches a # HELP line to a family (optional).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = help
+	}
+}
+
+// fmtFloat renders a float the way Prometheus expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4), families in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	// Snapshot family structure under the lock; metric reads are
+	// individually atomic/locked.
+	type fam struct {
+		*family
+		keys []string
+	}
+	fams := make([]fam, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fams = append(fams, fam{family: f, keys: append([]string(nil), f.order...)})
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.keys {
+			m, ok := f.byKey[key]
+			if !ok {
+				continue
+			}
+			var err error
+			switch v := m.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, key, v.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, key, fmtFloat(v.Value()))
+			case func() float64:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, key, fmtFloat(v()))
+			case *Histogram:
+				err = writeHistogram(w, f.name, key, v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram instance: cumulative _bucket
+// series, then _sum and _count.
+func writeHistogram(w io.Writer, name, key string, h *Histogram) error {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	// Merge the instance labels with le="...": strip the braces.
+	inner := strings.TrimSuffix(strings.TrimPrefix(key, "{"), "}")
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		lb := fmt.Sprintf("le=%q", fmtFloat(b))
+		if inner != "" {
+			lb = inner + "," + lb
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, lb, cum); err != nil {
+			return err
+		}
+	}
+	lb := `le="+Inf"`
+	if inner != "" {
+		lb = inner + "," + lb
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, lb, count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, key, fmtFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, key, count)
+	return err
+}
+
+// Handler serves the registry at an HTTP endpoint (GET /debug/metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

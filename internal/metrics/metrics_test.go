@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "state", "done")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("jobs_total", "state", "done"); again != c {
+		t.Error("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %g, want 2", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("job_seconds", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 560.5 {
+		t.Errorf("sum = %g, want 560.5", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE job_seconds histogram",
+		`job_seconds_bucket{le="1"} 1`,
+		`job_seconds_bucket{le="10"} 3`,
+		`job_seconds_bucket{le="100"} 4`,
+		`job_seconds_bucket{le="+Inf"} 5`,
+		"job_seconds_sum 560.5",
+		"job_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	r := New()
+	r.Counter("evals_total").Add(42)
+	r.SetHelp("evals_total", "total circuit evaluations")
+	r.Gauge("jobs", "state", "running").Set(2)
+	r.Gauge("jobs", "state", "queued").Set(7)
+	r.GaugeFunc("pool_size", func() float64 { return 8 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP evals_total total circuit evaluations",
+		"# TYPE evals_total counter",
+		"evals_total 42",
+		"# TYPE jobs gauge",
+		`jobs{state="running"} 2`,
+		`jobs{state="queued"} 7`,
+		"# TYPE pool_size gauge",
+		"pool_size 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := New()
+	r.Counter("hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits 1") {
+		t.Errorf("body missing hits 1: %q", buf[:n])
+	}
+}
+
+// TestConcurrentUse exercises every metric type from many goroutines so
+// `go test -race ./internal/metrics` proves the registry is safe to
+// share between the worker pool and the scrape handler.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "w", "x").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DurationBuckets).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("c", "w", "x").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Errorf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

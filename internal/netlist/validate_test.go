@@ -1,0 +1,169 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// validDeck is a minimal deck that passes both Parse and Validate.
+const validDeck = `
+.model nm nmos level=1 vto=0.7 kp=50u
+
+.module amp (in out vdd)
+m1 out in 0 0 nm w=W1 l=L1
+r1 vdd out 10k
+.ends
+
+.var W1 min=2u max=500u grid
+.var L1 min=2u max=20u grid
+.const Cl 1p
+
+.jig main
+xa in out nvdd amp
+vdd nvdd 0 5
+vin in 0 0 ac 1
+cl1 out 0 Cl
+.pz tf v(out) vin
+.ends
+
+.bias
+xa in out nvdd amp
+vdd nvdd 0 5
+vin in 0 2.5
+.ends
+
+.obj adm 'db(dc_gain(tf))' good=40 bad=10
+.spec gbw 'ugf(tf)' good=1Meg bad=10k
+.region xa.m1 sat
+`
+
+func mustParse(t *testing.T, src string) *Deck {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// preflight runs the full submit-time check: parse, then validate.
+func preflight(src string) error {
+	d, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return d.Validate()
+}
+
+func TestValidateCleanDeck(t *testing.T) {
+	if err := mustParse(t, validDeck).Validate(); err != nil {
+		t.Errorf("valid deck rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesMistakes(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantSub string
+	}{
+		{
+			name:    "duplicate var",
+			mutate:  func(s string) string { return s + "\n.var W1 min=1u max=2u grid\n" },
+			wantSub: `duplicate variable "W1"`,
+		},
+		{
+			name:    "inverted range",
+			mutate:  func(s string) string { return strings.Replace(s, "min=2u max=500u", "min=500u max=2u", 1) },
+			wantSub: "min < max",
+		},
+		{
+			name:    "grid var with nonpositive min",
+			mutate:  func(s string) string { return strings.Replace(s, ".var L1 min=2u", ".var L1 min=0", 1) },
+			wantSub: "needs min > 0",
+		},
+		{
+			name:    "unknown transfer function in spec",
+			mutate:  func(s string) string { return strings.Replace(s, "ugf(tf)", "ugf(tff)", 1) },
+			wantSub: `unknown transfer function "tff"`,
+		},
+		{
+			name:    "unknown identifier in spec",
+			mutate:  func(s string) string { return strings.Replace(s, "'ugf(tf)'", "'ugf(tf)/Nope'", 1) },
+			wantSub: `unknown identifier "Nope"`,
+		},
+		{
+			name:    "duplicate spec name",
+			mutate:  func(s string) string { return s + "\n.spec gbw 'ugf(tf)' good=2Meg bad=20k\n" },
+			wantSub: `duplicate spec "gbw"`,
+		},
+		{
+			name:    "flat good/bad anchors",
+			mutate:  func(s string) string { return strings.Replace(s, "good=1Meg bad=10k", "good=5 bad=5", 1) },
+			wantSub: "good and bad must differ",
+		},
+		{
+			name:    "pz unknown source",
+			mutate:  func(s string) string { return strings.Replace(s, ".pz tf v(out) vin", ".pz tf v(out) vmissing", 1) },
+			wantSub: `references source "vmissing"`,
+		},
+		{
+			name:    "region unknown device",
+			mutate:  func(s string) string { return strings.Replace(s, ".region xa.m1 sat", ".region xbogus.m1 sat", 1) },
+			wantSub: `no element "xbogus"`,
+		},
+		{
+			name: "missing bias",
+			mutate: func(s string) string {
+				i := strings.Index(s, ".bias")
+				j := strings.Index(s[i:], ".ends") + i + len(".ends")
+				return s[:i] + s[j:]
+			},
+			wantSub: "no .bias circuit",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Some of these mistakes are already rejected by the parser;
+			// the contract is that the pre-flight as a whole (Parse +
+			// Validate) catches them before any compile/anneal work.
+			err := preflight(tc.mutate(validDeck))
+			if err == nil {
+				t.Fatalf("mutation %q not caught", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateJoinsAllErrors checks that several independent mistakes
+// are reported together, not first-error-only.
+func TestValidateJoinsAllErrors(t *testing.T) {
+	src := validDeck +
+		"\n.spec bad1 'ugf(nosuch)' good=1 bad=0" + // dangling TF
+		"\n.spec bad2 'Missing*2' good=1 bad=0" + // unknown identifier
+		"\n.region xzz.m9 sat" // dangling device
+	err := mustParse(t, src).Validate()
+	if err == nil {
+		t.Fatal("no error for a triply-broken deck")
+	}
+	for _, want := range []string{`"nosuch"`, `"Missing"`, `"xzz"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestValidateSuiteDecks: every builtin benchmark deck must pass the
+// pre-flight (they all compile, so Validate rejecting one would be a
+// false positive). Uses the Simple OTA source inline to avoid an import
+// cycle with internal/bench.
+func TestValidateAcceptsDottedPaths(t *testing.T) {
+	src := strings.Replace(validDeck,
+		"'ugf(tf)'", "'xa.m1.id/(2*Cl)'", 1)
+	if err := mustParse(t, src).Validate(); err != nil {
+		t.Errorf("dotted device path rejected: %v", err)
+	}
+}

@@ -49,6 +49,15 @@ type Options struct {
 	RecordTrace bool
 	TraceEvery  int // moves between snapshots (0 → 500)
 
+	// Progress, when set, receives a ProgressEvent every ProgressEvery
+	// moves (0 → 500) — the streaming-telemetry hook the synthesis
+	// service uses for its SSE feed. Each event costs one extra circuit
+	// evaluation (spec values and the KCL residual are measured at the
+	// current point), so the default cadence adds ~0.2% overhead. The
+	// callback runs synchronously on the annealing goroutine.
+	Progress      ProgressFunc
+	ProgressEvery int
+
 	// CheckpointPath, when set, makes Run write a resumable state
 	// snapshot there every CheckpointEvery moves (atomically: tmp file
 	// + rename), and once more at the point of context cancellation.
@@ -79,6 +88,33 @@ func (o *Options) defaults() {
 	}
 }
 
+// ProgressEvent is one streaming telemetry sample of a live run: where
+// the annealing is (move count, temperature, acceptance ratio), how good
+// the design is so far (cost, best cost, spec values), and how far from
+// dc-correctness the relaxed formulation currently sits (KCL error).
+type ProgressEvent struct {
+	// Run is the RunBest run index (0 for single runs).
+	Run      int   `json:"run"`
+	Move     int   `json:"move"`
+	MaxMoves int   `json:"max_moves"`
+	Evals    int   `json:"evals"`
+	Seed     int64 `json:"seed"`
+
+	Temp        float64 `json:"temp"`
+	AcceptRatio float64 `json:"accept_ratio"`
+	Cost        float64 `json:"cost"`
+	BestCost    float64 `json:"best_cost"`
+	// MaxKCLError is the worst relative KCL residual at the current
+	// point — the paper's Fig. 2 "discrepancy from KCL-correct voltages".
+	MaxKCLError float64 `json:"max_kcl_error"`
+	// SpecVals are the measured spec values at the current point (nil
+	// when the point fails to evaluate).
+	SpecVals map[string]float64 `json:"spec_vals,omitempty"`
+}
+
+// ProgressFunc receives streaming progress from a running synthesis.
+type ProgressFunc func(ProgressEvent)
+
 // TraceSample is one Fig. 2 data point.
 type TraceSample struct {
 	Move     int
@@ -96,19 +132,19 @@ type TraceSample struct {
 type FailureStats struct {
 	// PanicsRecovered counts evaluator panics caught and converted into
 	// failed evaluations.
-	PanicsRecovered int
+	PanicsRecovered int `json:"panics_recovered"`
 	// NonFiniteCosts counts evaluations whose cost came back NaN/±Inf
 	// (including injected NaNs).
-	NonFiniteCosts int
+	NonFiniteCosts int `json:"non_finite_costs"`
 	// Retries counts transient-failure retry attempts of the
 	// retry-then-quarantine policy.
-	Retries int
+	Retries int `json:"retries"`
 	// Quarantined counts evaluations that still failed after all retries
 	// and were surfaced to the annealer as rejections.
-	Quarantined int
+	Quarantined int `json:"quarantined"`
 	// RejectedMoves counts moves the annealer rejected for a non-finite
 	// cost (per move class in Result.MoveStats[].Failed).
-	RejectedMoves int
+	RejectedMoves int `json:"rejected_moves"`
 }
 
 // Total sums all failure events.
@@ -280,6 +316,25 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 		Trace:       tracer,
 		TraceEvery:  opt.TraceEvery,
 		BestResetAt: weightFreeze,
+	}
+	if opt.Progress != nil {
+		every := opt.ProgressEvery
+		if every <= 0 {
+			every = 500
+		}
+		annealOpt.ProgressEvery = every
+		annealOpt.Progress = func(tp anneal.TracePoint) {
+			ev := ProgressEvent{
+				Move: tp.Move, MaxMoves: opt.MaxMoves, Evals: p.evals,
+				Seed: opt.Seed, Temp: tp.Temp, AcceptRatio: tp.AccRate,
+				Cost: tp.Cost, BestCost: tp.BestCost,
+			}
+			if st := c.Evaluate(tp.X); st.Err == nil {
+				ev.MaxKCLError = st.MaxKCLError()
+				ev.SpecVals = st.SpecVals
+			}
+			opt.Progress(ev)
+		}
 	}
 	if opt.NoFreeze {
 		annealOpt.FreezeStages = -1
@@ -471,6 +526,15 @@ func RunBest(ctx context.Context, deck *netlist.Deck, n int, opt Options) (*Resu
 			o.Seed = opt.Seed + int64(i)*7919
 			o.CheckpointPath = ""
 			o.Resume = nil
+			if opt.Progress != nil {
+				// Tag each run's telemetry with its index so a consumer
+				// multiplexing the streams can tell them apart.
+				run := i
+				o.Progress = func(ev ProgressEvent) {
+					ev.Run = run
+					opt.Progress(ev)
+				}
+			}
 			r, err := runFn(ctx, deck, o)
 			if err != nil && ctx.Err() == nil {
 				// One reseeded retry with backoff: a different random

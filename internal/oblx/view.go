@@ -1,0 +1,80 @@
+package oblx
+
+import "astrx/internal/anneal"
+
+// ResultView is the JSON-serializable projection of a Result: everything
+// a service client needs (design variables, cost breakdown, spec values,
+// run statistics) and nothing that isn't marshalable (the compiled cost
+// closures, the full evaluation state). It is the wire format of the
+// oblxd result endpoint and of the oblx CLI's machine-readable output.
+type ResultView struct {
+	Seed      int64 `json:"seed"`
+	Moves     int   `json:"moves"`
+	Accepted  int   `json:"accepted"`
+	EvalCount int   `json:"eval_count"`
+	Froze     bool  `json:"froze"`
+	Cancelled bool  `json:"cancelled"`
+	// DCSolved reports that the final Newton polish converged — the
+	// design is dc-correct to simulator tolerances.
+	DCSolved bool `json:"dc_solved"`
+
+	DurationNS    int64   `json:"duration_ns"`
+	TimePerEvalNS int64   `json:"time_per_eval_ns"`
+	EvalsPerSec   float64 `json:"evals_per_sec"`
+
+	Cost CostView `json:"cost"`
+	// Variables are the synthesized user design variables by name.
+	Variables map[string]float64 `json:"variables"`
+	// SpecVals are OBLX's predicted spec values at the final point.
+	SpecVals map[string]float64 `json:"spec_vals"`
+
+	Failures  FailureStats      `json:"failures"`
+	MoveStats []anneal.MoveStat `json:"move_stats,omitempty"`
+}
+
+// CostView is the itemized cost at the final point (the paper's
+// C = C^obj + C^perf + C^dev + C^dc).
+type CostView struct {
+	Objective float64 `json:"objective"`
+	Perf      float64 `json:"perf"`
+	Dev       float64 `json:"dev"`
+	DC        float64 `json:"dc"`
+	Total     float64 `json:"total"`
+	Failed    bool    `json:"failed,omitempty"`
+}
+
+// View builds the JSON projection of the result.
+func (r *Result) View() *ResultView {
+	v := &ResultView{
+		Seed:       r.Seed,
+		Moves:      r.Moves,
+		Accepted:   r.Accepted,
+		EvalCount:  r.EvalCount,
+		Froze:      r.Froze,
+		Cancelled:  r.Cancelled,
+		DCSolved:   r.DCSolved,
+		DurationNS: int64(r.Duration),
+		Cost: CostView{
+			Objective: r.Cost.Objective, Perf: r.Cost.Perf,
+			Dev: r.Cost.Dev, DC: r.Cost.DC,
+			Total: r.Cost.Total, Failed: r.Cost.Failed,
+		},
+		Failures:  r.Failures,
+		MoveStats: r.MoveStats,
+	}
+	v.TimePerEvalNS = int64(r.TimePerEval())
+	if secs := r.Duration.Seconds(); secs > 0 {
+		v.EvalsPerSec = float64(r.EvalCount) / secs
+	}
+	v.Variables = make(map[string]float64, r.Compiled.NUser)
+	for i := 0; i < r.Compiled.NUser; i++ {
+		v.Variables[r.Compiled.Vars()[i].Name] = r.X[i]
+	}
+	if r.State != nil && r.State.SpecVals != nil {
+		v.SpecVals = make(map[string]float64, len(r.State.SpecVals))
+		for k, val := range r.State.SpecVals {
+			v.SpecVals[k] = val
+		}
+	}
+	return v
+}

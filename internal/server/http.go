@@ -1,0 +1,237 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// maxDeckBytes bounds a submitted deck; real ASTRX decks are a few KB.
+const maxDeckBytes = 1 << 20
+
+// submitRequest is the JSON body of POST /v1/jobs. Clients may instead
+// POST the raw deck as text/plain and pass options as query parameters.
+type submitRequest struct {
+	Deck    string     `json:"deck"`
+	Options JobOptions `json:"options"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a deck (JSON {deck, options} or text/plain + query params)
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        job status (state, best cost, latest spec values)
+//	GET    /v1/jobs/{id}/events SSE stream of state transitions + annealing progress
+//	GET    /v1/jobs/{id}/result final design + verification numbers (409 until terminal)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /debug/metrics       Prometheus text exposition
+//	GET    /healthz             200 ok / 503 draining
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", m.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.Handle("GET /debug/metrics", m.reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxDeckBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxDeckBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, "deck larger than %d bytes", maxDeckBytes)
+		return
+	}
+
+	var req submitRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "parse request: %v", err)
+			return
+		}
+	} else {
+		// Raw deck in the body; options from query parameters, so
+		// `curl --data-binary @deck.ckt '...?max_moves=20000'` works.
+		req.Deck = string(body)
+		q := r.URL.Query()
+		intQ := func(key string, dst *int) bool {
+			if s := q.Get(key); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "query %s: %v", key, err)
+					return false
+				}
+				*dst = n
+			}
+			return true
+		}
+		if !intQ("max_moves", &req.Options.MaxMoves) ||
+			!intQ("runs", &req.Options.Runs) ||
+			!intQ("progress_every", &req.Options.ProgressEvery) {
+			return
+		}
+		if s := q.Get("seed"); s != "" {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "query seed: %v", err)
+				return
+			}
+			req.Options.Seed = n
+		}
+		if s := q.Get("no_freeze"); s != "" {
+			req.Options.NoFreeze = s == "1" || s == "true"
+		}
+	}
+	if strings.TrimSpace(req.Deck) == "" {
+		writeErr(w, http.StatusBadRequest, "empty deck")
+		return
+	}
+
+	j, err := m.Submit(req.Deck, req.Options)
+	if err != nil {
+		var de *DeckError
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.As(err, &de):
+			writeErr(w, http.StatusBadRequest, "%v", de.Err)
+		default:
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := m.Jobs()
+	out := make([]*Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobOr404 resolves the {id} path value.
+func (m *Manager) jobOr404(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	j := m.Get(id)
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+	}
+	return j
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := m.jobOr404(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := m.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		writeErr(w, http.StatusConflict, "job %s is %s; result available once terminal", j.ID, j.State())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := m.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	if err := m.Cancel(j.ID); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job's event history and live updates as
+// Server-Sent Events. Each event is one JSON object; the SSE event name
+// is the Event.Type ("state" or "progress"). The stream closes when the
+// job reaches a terminal state or the client disconnects.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := m.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, cancel := j.Subscribe()
+	defer cancel()
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		fl.Flush()
+		return !(ev.Type == "state" && ev.State.terminal())
+	}
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRestartResume is the daemon-death drill from the issue: start a
+// manager with a state directory, submit a job, watch at least three
+// progress events arrive over SSE, kill the daemon mid-anneal (graceful
+// shutdown — the annealer checkpoints at the exact cancellation move),
+// start a fresh manager over the same state directory, and fetch the
+// completed result, whose verified specs must meet the deck's good
+// thresholds.
+func TestRestartResume(t *testing.T) {
+	stateDir := t.TempDir()
+
+	// ---- first incarnation ----
+	var logMu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, strings.TrimSpace(strings.ReplaceAll(format, "%v", "")))
+		logMu.Unlock()
+		t.Logf(format, args...)
+	}
+	m1, err := New(Options{
+		StateDir:        stateDir,
+		Workers:         1,
+		CheckpointEvery: 200,
+		ProgressEvery:   100,
+		Logf:            logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(m1.Handler())
+
+	id := submitJSON(t, ts1, testDeck, JobOptions{Seed: 1, MaxMoves: 8000, Runs: 1, ProgressEvery: 100})
+
+	// Stream events until we have seen >= 3 progress samples, proving
+	// the job is genuinely mid-anneal.
+	sseCtx, sseCancel := context.WithTimeout(context.Background(), time.Minute)
+	req, _ := http.NewRequestWithContext(sseCtx, "GET", ts1.URL+"/v1/jobs/"+id+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := 0
+	dec := newSSEDecoder(resp.Body)
+	for progress < 3 {
+		ev, err := dec.next()
+		if err != nil {
+			t.Fatalf("sse: %v (saw %d progress events)", err, progress)
+		}
+		if ev.Type == "progress" {
+			progress++
+		}
+		if ev.Type == "state" && ev.State.terminal() {
+			t.Fatalf("job finished before the kill (state %s) — raise MaxMoves", ev.State)
+		}
+	}
+	resp.Body.Close()
+	sseCancel()
+
+	// ---- kill the daemon mid-anneal ----
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer shutCancel()
+	if err := m1.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// The job must be parked on disk as queued, with a checkpoint.
+	rec := readRecord(t, stateDir, id)
+	if rec.State != StateQueued {
+		t.Fatalf("persisted state after shutdown: %s, want queued", rec.State)
+	}
+	if _, err := os.Stat(stateDir + "/job-" + id + ".ckpt"); err != nil {
+		t.Fatalf("no checkpoint after shutdown: %v", err)
+	}
+
+	// ---- second incarnation over the same state dir ----
+	m2, err := New(Options{
+		StateDir:        stateDir,
+		Workers:         1,
+		CheckpointEvery: 200,
+		ProgressEvery:   100,
+		Logf:            logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(m2.Handler())
+	defer ts2.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m2.Shutdown(ctx)
+	}()
+
+	j := m2.Get(id)
+	if j == nil {
+		t.Fatal("job not recovered by the second incarnation")
+	}
+
+	// It must RESUME from the checkpoint, not restart: the recovery log
+	// announces the resume move.
+	logMu.Lock()
+	resumed := false
+	for _, l := range logs {
+		if strings.Contains(l, "will resume from move") {
+			resumed = true
+		}
+	}
+	logMu.Unlock()
+	if !resumed {
+		t.Error("second incarnation did not resume from the checkpoint")
+	}
+
+	// Wait for completion and fetch the result over HTTP.
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) && !j.State().terminal() {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := j.State(); got != StateDone {
+		t.Fatalf("resumed job ended %s, want done", got)
+	}
+
+	hr, err := http.Get(ts2.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", hr.StatusCode)
+	}
+	var res JobResult
+	if err := json.NewDecoder(hr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateDone {
+		t.Fatalf("result state %s", res.State)
+	}
+	if res.Verify == nil {
+		t.Fatalf("no verification on the resumed result (verify_error: %s)", res.VerifyError)
+	}
+	for _, s := range res.Verify.Specs {
+		if !s.Objective && !s.Met {
+			t.Errorf("resumed result misses spec %s: simulated %g (good=%g bad=%g)",
+				s.Name, s.Simulated, s.Good, s.Bad)
+		}
+	}
+
+	// Terminal job cleans up its checkpoint.
+	if _, err := os.Stat(stateDir + "/job-" + id + ".ckpt"); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after completion (stat err: %v)", err)
+	}
+}
+
+// TestRecoverTerminalHistory: finished jobs survive a restart as
+// servable history.
+func TestRecoverTerminalHistory(t *testing.T) {
+	stateDir := t.TempDir()
+
+	m1 := newTestManager(t, Options{StateDir: stateDir})
+	ts1 := httptest.NewServer(m1.Handler())
+	id := submitJSON(t, ts1, testDeck, JobOptions{Seed: 1, MaxMoves: 4000})
+	j := m1.Get(id)
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) && !j.State().terminal() {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if j.State() != StateDone {
+		t.Fatalf("job ended %s", j.State())
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	m1.Shutdown(ctx)
+
+	m2 := newTestManager(t, Options{StateDir: stateDir})
+	ts2 := httptest.NewServer(m2.Handler())
+	defer ts2.Close()
+
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("historical result: status %d", resp.StatusCode)
+	}
+	var res JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateDone || res.Result == nil {
+		t.Fatalf("historical result incomplete: %+v", res)
+	}
+}
+
+// sseDecoder yields decoded events from an SSE body one at a time, for
+// tests that must stop reading mid-stream.
+type sseDecoder struct {
+	sc *bufio.Scanner
+}
+
+func newSSEDecoder(r io.Reader) *sseDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &sseDecoder{sc: sc}
+}
+
+func (d *sseDecoder) next() (Event, error) {
+	for d.sc.Scan() {
+		line := d.sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return Event{}, err
+		}
+		return ev, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// readRecord loads a persisted job record from the state directory.
+func readRecord(t *testing.T, dir, id string) *jobRecord {
+	t.Helper()
+	data, err := os.ReadFile(dir + "/job-" + id + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	return &rec
+}

@@ -1,0 +1,746 @@
+// Package server is the synthesis service behind the oblxd daemon: a
+// job manager that accepts ASTRX decks, runs them through OBLX on a
+// bounded worker pool, streams annealing progress to subscribers, and
+// survives restarts by checkpointing in-flight jobs to a state
+// directory.
+//
+// The paper's workflow is batch — "5-10 annealing runs performed
+// overnight" — but the cancellation + checkpoint machinery underneath
+// (context-scoped runs, resumable annealer snapshots) is exactly what a
+// long-lived optimization service needs: jobs are queued, run with a
+// context each, checkpoint periodically, and a killed daemon resumes
+// queued and running jobs from disk on restart without losing a move.
+//
+// Lifecycle: Submit validates the deck (parse + Deck.Validate) and
+// enqueues; workers pull jobs FIFO and run them; DELETE cancels via the
+// job's context; Shutdown stops intake (submissions get ErrDraining →
+// HTTP 503), cancels running jobs — which write a final checkpoint at
+// the exact cancellation move — and leaves everything on disk in a
+// state New can recover.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"astrx/internal/metrics"
+	"astrx/internal/netlist"
+	"astrx/internal/oblx"
+	"astrx/internal/verify"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobOptions are the per-job synthesis knobs a client may set.
+type JobOptions struct {
+	Seed     int64 `json:"seed,omitempty"`      // 0 → 1
+	MaxMoves int   `json:"max_moves,omitempty"` // 0 → 120 000
+	// Runs is the number of independent seeded anneals (best kept).
+	// Checkpoint/resume is a single-run feature: jobs with Runs > 1
+	// restart from scratch after a daemon kill instead of resuming.
+	Runs     int  `json:"runs,omitempty"` // 0 → 1
+	NoFreeze bool `json:"no_freeze,omitempty"`
+	// ProgressEvery is the move interval between streamed progress
+	// events (0 → the manager default).
+	ProgressEvery int `json:"progress_every,omitempty"`
+}
+
+func (o *JobOptions) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxMoves <= 0 {
+		o.MaxMoves = 120_000
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+}
+
+// Event is one entry of a job's event stream: either a state transition
+// or an annealing progress sample.
+type Event struct {
+	Type  string              `json:"type"` // "state" | "progress"
+	State State               `json:"state,omitempty"`
+	Error string              `json:"error,omitempty"`
+	Prog  *oblx.ProgressEvent `json:"progress,omitempty"`
+}
+
+// maxBufferedEvents caps the per-job replay buffer; SSE subscribers that
+// attach late see at most this many historical events. Progress events
+// beyond the cap evict the oldest progress entries (state transitions
+// are never evicted).
+const maxBufferedEvents = 1024
+
+// VerifySummary is the JSON projection of the reference-simulation
+// report attached to a finished job.
+type VerifySummary struct {
+	Specs          []verify.SpecResult `json:"specs"`
+	BiasIterations int                 `json:"bias_iterations"`
+	BiasConverged  bool                `json:"bias_converged"`
+	MaxKCL         float64             `json:"max_kcl"`
+	WorstRelErr    float64             `json:"worst_rel_err"`
+	// AllMet reports whether every non-objective spec is met by the
+	// simulated (not just predicted) value.
+	AllMet bool `json:"all_met"`
+}
+
+// JobResult is the wire form of a finished job's outcome.
+type JobResult struct {
+	ID     string           `json:"id"`
+	State  State            `json:"state"`
+	Error  string           `json:"error,omitempty"`
+	Result *oblx.ResultView `json:"result,omitempty"`
+	Verify *VerifySummary   `json:"verify,omitempty"`
+	// VerifyError records a reference-simulation failure (e.g. a
+	// cancelled job's half-annealed point may not bias-converge); the
+	// synthesis result above is still valid best-so-far data.
+	VerifyError string `json:"verify_error,omitempty"`
+}
+
+// Job is one synthesis job. All mutable fields are guarded by mu.
+type Job struct {
+	ID      string
+	Deck    string
+	Options JobOptions
+	Created time.Time
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	started  time.Time
+	finished time.Time
+	bestCost float64 // NaN until the first progress event
+	lastProg *oblx.ProgressEvent
+	events   []Event
+	subs     map[chan Event]struct{}
+	result   *JobResult
+
+	// cancel aborts the running synthesis; nil unless running.
+	cancel context.CancelFunc
+	// userCancelled distinguishes DELETE (terminal) from a shutdown
+	// drain (job stays resumable).
+	userCancelled bool
+	// resume holds the checkpoint to continue from, set during recovery.
+	resume *oblx.Checkpoint
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status is the wire form of a job's current state (GET /v1/jobs/{id}).
+type Status struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Options  JobOptions `json:"options"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// BestCost is the best-so-far total cost (null until the first
+	// progress event arrives).
+	BestCost *float64 `json:"best_cost,omitempty"`
+	// SpecVals are the most recently measured spec values.
+	SpecVals map[string]float64 `json:"spec_vals,omitempty"`
+	// Progress is the latest annealing telemetry sample.
+	Progress *oblx.ProgressEvent `json:"progress,omitempty"`
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() *Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := &Status{
+		ID: j.ID, State: j.state, Error: j.err,
+		Options: j.Options, Created: j.Created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	if !math.IsNaN(j.bestCost) {
+		c := j.bestCost
+		s.BestCost = &c
+	}
+	if j.lastProg != nil {
+		p := *j.lastProg
+		s.Progress = &p
+		s.SpecVals = p.SpecVals
+	}
+	return s
+}
+
+// Result returns the finished job's result, or nil while non-terminal.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// publish appends an event to the replay buffer and fans it out to
+// subscribers. Callers must hold j.mu.
+func (j *Job) publishLocked(ev Event) {
+	if len(j.events) >= maxBufferedEvents {
+		// Evict the oldest progress event; keep state transitions.
+		for i, old := range j.events {
+			if old.Type == "progress" {
+				j.events = append(j.events[:i], j.events[i+1:]...)
+				break
+			}
+		}
+	}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop; SSE is a lossy telemetry feed
+		}
+	}
+}
+
+// Subscribe returns a copy of the replayable event history and a channel
+// of future events. Call the returned cancel function when done.
+func (j *Job) Subscribe() (replay []Event, ch chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	ch = make(chan Event, 64)
+	if j.subs == nil {
+		j.subs = make(map[chan Event]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// ErrDraining is returned by Submit during graceful shutdown; the HTTP
+// layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("server: draining, not accepting new jobs")
+
+// DeckError wraps a deck validation failure; the HTTP layer maps it to
+// 400 Bad Request.
+type DeckError struct{ Err error }
+
+func (e *DeckError) Error() string { return e.Err.Error() }
+func (e *DeckError) Unwrap() error { return e.Err }
+
+// Options configures a Manager.
+type Options struct {
+	// StateDir persists jobs and checkpoints for restart recovery.
+	// Empty → in-memory only (jobs die with the process).
+	StateDir string
+	// Workers bounds concurrent synthesis jobs (0 → GOMAXPROCS).
+	Workers int
+	// Registry receives service metrics (nil → a private registry).
+	Registry *metrics.Registry
+	// CheckpointEvery is the move interval between job checkpoints
+	// (0 → 5000). Only meaningful with a StateDir.
+	CheckpointEvery int
+	// ProgressEvery is the default move interval between progress
+	// events for jobs that don't set their own (0 → 500).
+	ProgressEvery int
+	// MaxMovesLimit rejects jobs asking for more than this move budget
+	// (0 → no limit) — an admission-control guard for shared daemons.
+	MaxMovesLimit int
+	// Logf receives operational log lines (nil → discarded).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job table, the queue, and the worker pool.
+type Manager struct {
+	opt Options
+	reg *metrics.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	queue    []*Job
+	running  int
+	draining bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// metric instruments
+	mSubmitted *metrics.Counter
+	mEvals     *metrics.Counter
+	mEvalRate  *metrics.Gauge
+	mAccept    *metrics.Gauge
+	mJobSecs   *metrics.Histogram
+}
+
+// New creates a manager, recovers persisted jobs from the state
+// directory, and starts the worker pool.
+func New(opt Options) (*Manager, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = 5000
+	}
+	if opt.ProgressEvery <= 0 {
+		opt.ProgressEvery = 500
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = metrics.New()
+	}
+	m := &Manager{
+		opt:  opt,
+		reg:  reg,
+		jobs: make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+
+	m.mSubmitted = reg.Counter("oblxd_jobs_submitted_total")
+	reg.SetHelp("oblxd_jobs_submitted_total", "jobs accepted for synthesis")
+	m.mEvals = reg.Counter("oblxd_evals_total")
+	reg.SetHelp("oblxd_evals_total", "circuit evaluations across all jobs")
+	m.mEvalRate = reg.Gauge("oblxd_evals_per_sec")
+	reg.SetHelp("oblxd_evals_per_sec", "recent evaluation throughput")
+	m.mAccept = reg.Gauge("oblxd_accept_ratio")
+	reg.SetHelp("oblxd_accept_ratio", "latest annealing acceptance ratio")
+	m.mJobSecs = reg.Histogram("oblxd_job_seconds", metrics.DurationBuckets)
+	reg.SetHelp("oblxd_job_seconds", "per-job wall time")
+	reg.GaugeFunc("oblxd_queue_depth", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.queue))
+	})
+	reg.SetHelp("oblxd_queue_depth", "jobs waiting for a worker")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		st := st
+		reg.GaugeFunc("oblxd_jobs", func() float64 { return float64(m.countState(st)) },
+			"state", string(st))
+	}
+	reg.SetHelp("oblxd_jobs", "jobs by lifecycle state")
+
+	if opt.StateDir != "" {
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < opt.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Registry exposes the manager's metrics registry (for /debug/metrics).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+func (m *Manager) countState(st State) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if j.State() == st {
+			n++
+		}
+	}
+	return n
+}
+
+// newID returns a 12-hex-char random job ID.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates a deck and enqueues a synthesis job. A deck that
+// fails to parse or validate is rejected with a *DeckError; during
+// shutdown Submit returns ErrDraining.
+func (m *Manager) Submit(deckSrc string, opt JobOptions) (*Job, error) {
+	d, err := netlist.Parse(deckSrc)
+	if err != nil {
+		return nil, &DeckError{Err: err}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, &DeckError{Err: err}
+	}
+	opt.defaults()
+	if m.opt.MaxMovesLimit > 0 && opt.MaxMoves > m.opt.MaxMovesLimit {
+		return nil, &DeckError{Err: fmt.Errorf("server: max_moves %d exceeds the daemon limit %d",
+			opt.MaxMoves, m.opt.MaxMovesLimit)}
+	}
+
+	j := &Job{
+		ID:       newID(),
+		Deck:     deckSrc,
+		Options:  opt,
+		Created:  time.Now(),
+		state:    StateQueued,
+		bestCost: math.NaN(),
+	}
+	j.events = append(j.events, Event{Type: "state", State: StateQueued})
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.jobs[j.ID] = j
+	m.mu.Unlock()
+
+	// Persist the queued record before the job becomes runnable, so a
+	// worker can never transition a job that has no record on disk.
+	if err := m.persist(j); err != nil {
+		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+	}
+
+	m.mu.Lock()
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+	m.mu.Unlock()
+
+	m.mSubmitted.Inc()
+	m.opt.Logf("oblxd: job %s queued (moves=%d runs=%d seed=%d)",
+		j.ID, opt.MaxMoves, opt.Runs, opt.Seed)
+	return j, nil
+}
+
+// Get returns a job by ID, or nil.
+func (m *Manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Jobs returns all jobs, newest first.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			if out[k].Created.After(out[i].Created) {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Cancelling a queued job is
+// immediate; a running job's context is cancelled and the annealer
+// returns its best-so-far design, which is kept as the (partial) result.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j := m.jobs[id]
+	if j == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("server: no job %s", id)
+	}
+	// Remove from the queue if still waiting.
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	j.mu.Lock()
+	switch {
+	case j.state.terminal():
+		j.mu.Unlock()
+		return fmt.Errorf("server: job %s already %s", id, j.State())
+	case j.state == StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.userCancelled = true
+		j.result = &JobResult{ID: j.ID, State: StateCancelled}
+		j.publishLocked(Event{Type: "state", State: StateCancelled})
+		j.mu.Unlock()
+		if err := m.persist(j); err != nil {
+			m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		}
+	default: // running
+		j.userCancelled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	m.opt.Logf("oblxd: job %s cancel requested", id)
+	return nil
+}
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Shutdown gracefully stops the manager: intake closes (Submit returns
+// ErrDraining), queued jobs stay persisted for the next incarnation,
+// running jobs are cancelled — each writes a final checkpoint at its
+// exact cancellation move and is re-marked queued on disk — and the
+// worker pool is drained. ctx bounds the wait.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	m.cancel() // running jobs observe this and checkpoint out
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// worker pulls jobs FIFO until shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		m.running++
+		m.mu.Unlock()
+
+		m.runJob(j)
+
+		m.mu.Lock()
+		m.running--
+		m.mu.Unlock()
+	}
+}
+
+// runJob executes one synthesis job end to end.
+func (m *Manager) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state.terminal() { // cancelled while queued, raced with dequeue
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	resume := j.resume
+	j.publishLocked(Event{Type: "state", State: StateRunning})
+	j.mu.Unlock()
+	if err := m.persist(j); err != nil {
+		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+	}
+	m.opt.Logf("oblxd: job %s running", j.ID)
+
+	deck, err := netlist.Parse(j.Deck)
+	if err != nil { // validated at submit; only possible via disk corruption
+		m.finishJob(j, nil, fmt.Errorf("server: reparse deck: %w", err))
+		return
+	}
+
+	progEvery := j.Options.ProgressEvery
+	if progEvery <= 0 {
+		progEvery = m.opt.ProgressEvery
+	}
+	// Progress accounting for the evals/sec gauge: deltas between
+	// consecutive events of the same run.
+	var progMu sync.Mutex
+	lastEvals := make(map[int]int)
+	lastTime := make(map[int]time.Time)
+
+	opt := oblx.Options{
+		Seed:          j.Options.Seed,
+		MaxMoves:      j.Options.MaxMoves,
+		NoFreeze:      j.Options.NoFreeze,
+		ProgressEvery: progEvery,
+		Progress: func(ev oblx.ProgressEvent) {
+			now := time.Now()
+			progMu.Lock()
+			if prev, ok := lastEvals[ev.Run]; ok && ev.Evals > prev {
+				m.mEvals.Add(int64(ev.Evals - prev))
+				if dt := now.Sub(lastTime[ev.Run]).Seconds(); dt > 0 {
+					m.mEvalRate.Set(float64(ev.Evals-prev) / dt)
+				}
+			}
+			lastEvals[ev.Run] = ev.Evals
+			lastTime[ev.Run] = now
+			progMu.Unlock()
+			m.mAccept.Set(ev.AcceptRatio)
+
+			j.mu.Lock()
+			p := ev
+			j.lastProg = &p
+			if math.IsNaN(j.bestCost) || ev.BestCost < j.bestCost {
+				j.bestCost = ev.BestCost
+			}
+			j.publishLocked(Event{Type: "progress", Prog: &p})
+			j.mu.Unlock()
+		},
+	}
+
+	var res *oblx.Result
+	if j.Options.Runs <= 1 {
+		if m.opt.StateDir != "" {
+			opt.CheckpointPath = m.checkpointPath(j.ID)
+			opt.CheckpointEvery = m.opt.CheckpointEvery
+			opt.Resume = resume
+		}
+		res, err = oblx.Run(ctx, deck, opt)
+	} else {
+		// Checkpointing is a single-run feature (n parallel runs would
+		// race on one snapshot); multi-run jobs restart from scratch
+		// after a daemon kill.
+		var errs []error
+		res, _, errs = oblx.RunBest(ctx, deck, j.Options.Runs, opt)
+		if res == nil {
+			err = errors.Join(errs...)
+		}
+	}
+	m.finishJob(j, res, err)
+}
+
+// finishJob records the outcome of a run: done, failed, cancelled (user
+// request, partial result kept), or — when the manager is draining — a
+// checkpointed hand-off back to the queued state for the next daemon
+// incarnation.
+func (m *Manager) finishJob(j *Job, res *oblx.Result, err error) {
+	j.mu.Lock()
+	j.cancel = nil
+	userCancelled := j.userCancelled
+	j.mu.Unlock()
+
+	shutdownInterrupted := res != nil && res.Cancelled && !userCancelled && m.Draining()
+	if shutdownInterrupted {
+		// The annealer wrote its final checkpoint at the cancellation
+		// move; hand the job back to the queue on disk so the next
+		// incarnation resumes it.
+		j.mu.Lock()
+		j.state = StateQueued
+		j.started = time.Time{}
+		j.mu.Unlock()
+		if err := m.persist(j); err != nil {
+			m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		}
+		m.opt.Logf("oblxd: job %s checkpointed for restart", j.ID)
+		return
+	}
+
+	now := time.Now()
+	result := &JobResult{ID: j.ID}
+	var state State
+	switch {
+	case err != nil:
+		state = StateFailed
+		result.Error = err.Error()
+	case res.Cancelled:
+		state = StateCancelled
+	default:
+		state = StateDone
+	}
+	if res != nil {
+		result.Result = res.View()
+		if res.CheckpointErr != nil {
+			m.opt.Logf("oblxd: job %s checkpoint writes failed: %v", j.ID, res.CheckpointErr)
+		}
+		// Reference-simulate the final design. A cancelled job's
+		// half-annealed point may fail to verify; that is a caveat on
+		// the partial result, not a job failure.
+		rep, verr := verify.Design(res.Compiled, res.X, res.State.SpecVals)
+		if verr != nil {
+			result.VerifyError = verr.Error()
+		} else {
+			vs := &VerifySummary{
+				Specs:          rep.Specs,
+				BiasIterations: rep.BiasIterations,
+				BiasConverged:  rep.BiasConverged,
+				MaxKCL:         rep.MaxKCL,
+				WorstRelErr:    rep.WorstRelErr,
+				AllMet:         true,
+			}
+			for _, row := range rep.Specs {
+				if !row.Objective && !row.Met {
+					vs.AllMet = false
+				}
+			}
+			result.Verify = vs
+		}
+	}
+	result.State = state
+
+	j.mu.Lock()
+	j.state = state
+	j.err = result.Error
+	j.finished = now
+	j.result = result
+	j.publishLocked(Event{Type: "state", State: state, Error: result.Error})
+	started := j.started
+	j.mu.Unlock()
+
+	m.reg.Counter("oblxd_jobs_finished_total", "state", string(state)).Inc()
+	if !started.IsZero() {
+		m.mJobSecs.Observe(now.Sub(started).Seconds())
+	}
+	if err := m.persist(j); err != nil {
+		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+	}
+	m.removeCheckpoint(j, state)
+	m.opt.Logf("oblxd: job %s %s", j.ID, state)
+}

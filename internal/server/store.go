@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"astrx/internal/oblx"
+)
+
+// jobRecord is the on-disk form of a job (job-<id>.json in the state
+// directory). Terminal jobs keep their full result so a restarted daemon
+// can still serve GET /result; queued jobs keep enough to re-run; a job
+// that was running when the daemon died is recorded as running and
+// requeued with its checkpoint (job-<id>.ckpt) on recovery.
+type jobRecord struct {
+	Version int        `json:"version"`
+	ID      string     `json:"id"`
+	Deck    string     `json:"deck"`
+	Options JobOptions `json:"options"`
+	Created time.Time  `json:"created"`
+	State   State      `json:"state"`
+	Error   string     `json:"error,omitempty"`
+	Result  *JobResult `json:"result,omitempty"`
+}
+
+const jobRecordVersion = 1
+
+func (m *Manager) jobPath(id string) string {
+	return filepath.Join(m.opt.StateDir, "job-"+id+".json")
+}
+
+func (m *Manager) checkpointPath(id string) string {
+	return filepath.Join(m.opt.StateDir, "job-"+id+".ckpt")
+}
+
+// persist writes the job's current state to the state directory
+// atomically (tmp + rename). A manager without a state directory
+// persists nothing.
+func (m *Manager) persist(j *Job) error {
+	if m.opt.StateDir == "" {
+		return nil
+	}
+	j.mu.Lock()
+	rec := jobRecord{
+		Version: jobRecordVersion,
+		ID:      j.ID,
+		Deck:    j.Deck,
+		Options: j.Options,
+		Created: j.Created,
+		State:   j.state,
+		Error:   j.err,
+		Result:  j.result,
+	}
+	j.mu.Unlock()
+
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: marshal job %s: %w", j.ID, err)
+	}
+	path := m.jobPath(j.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("server: write job record: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: commit job record: %w", err)
+	}
+	return nil
+}
+
+// removeCheckpoint deletes a job's checkpoint once it reaches a terminal
+// state — the snapshot only exists to survive a crash mid-run.
+func (m *Manager) removeCheckpoint(j *Job, st State) {
+	if m.opt.StateDir == "" || !st.terminal() {
+		return
+	}
+	if err := os.Remove(m.checkpointPath(j.ID)); err != nil && !os.IsNotExist(err) {
+		m.opt.Logf("oblxd: remove checkpoint %s: %v", j.ID, err)
+	}
+}
+
+// recover loads persisted jobs from the state directory: terminal jobs
+// become servable history; queued jobs re-enter the queue; jobs recorded
+// as running died with the previous daemon and are requeued — with their
+// checkpoint attached when one exists, so single-run jobs resume from
+// the exact move the last snapshot captured.
+func (m *Manager) recover() error {
+	if err := os.MkdirAll(m.opt.StateDir, 0o755); err != nil {
+		return fmt.Errorf("server: state dir: %w", err)
+	}
+	entries, err := os.ReadDir(m.opt.StateDir)
+	if err != nil {
+		return fmt.Errorf("server: read state dir: %w", err)
+	}
+	var requeue []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.opt.StateDir, name))
+		if err != nil {
+			m.opt.Logf("oblxd: recover %s: %v", name, err)
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			m.opt.Logf("oblxd: recover %s: corrupt record: %v", name, err)
+			continue
+		}
+		if rec.Version != jobRecordVersion || rec.ID == "" {
+			m.opt.Logf("oblxd: recover %s: unsupported record version %d", name, rec.Version)
+			continue
+		}
+		j := &Job{
+			ID:       rec.ID,
+			Deck:     rec.Deck,
+			Options:  rec.Options,
+			Created:  rec.Created,
+			state:    rec.State,
+			err:      rec.Error,
+			result:   rec.Result,
+			bestCost: math.NaN(),
+		}
+		switch rec.State {
+		case StateDone, StateFailed, StateCancelled:
+			j.events = append(j.events, Event{Type: "state", State: rec.State, Error: rec.Error})
+		case StateQueued, StateRunning:
+			j.state = StateQueued
+			j.events = append(j.events, Event{Type: "state", State: StateQueued})
+			if ck, err := oblx.LoadCheckpoint(m.checkpointPath(rec.ID)); err == nil {
+				if rec.Options.Runs <= 1 {
+					j.resume = ck
+					m.opt.Logf("oblxd: job %s will resume from move %d", rec.ID, ck.Anneal.Move)
+				}
+			} else if !errors.Is(err, fs.ErrNotExist) {
+				m.opt.Logf("oblxd: job %s: checkpoint unreadable, restarting run: %v", rec.ID, err)
+			}
+			requeue = append(requeue, j)
+		default:
+			m.opt.Logf("oblxd: recover %s: unknown state %q", name, rec.State)
+			continue
+		}
+		m.jobs[j.ID] = j
+	}
+	// Requeue in original submission order.
+	sort.Slice(requeue, func(a, b int) bool {
+		return requeue[a].Created.Before(requeue[b].Created)
+	})
+	m.queue = append(m.queue, requeue...)
+	if n := len(requeue); n > 0 {
+		m.opt.Logf("oblxd: recovered %d pending job(s) from %s", n, m.opt.StateDir)
+	}
+	return nil
+}

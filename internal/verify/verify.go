@@ -27,16 +27,17 @@ import (
 // SpecResult compares OBLX's prediction with the reference simulation
 // for one specification.
 type SpecResult struct {
-	Name      string
-	Objective bool
-	Good, Bad float64
-	Predicted float64 // OBLX / AWE value at the synthesized point
-	Simulated float64 // Newton bias + AC sweep value
+	Name      string  `json:"name"`
+	Objective bool    `json:"objective"`
+	Good      float64 `json:"good"`
+	Bad       float64 `json:"bad"`
+	Predicted float64 `json:"predicted"` // OBLX / AWE value at the synthesized point
+	Simulated float64 `json:"simulated"` // Newton bias + AC sweep value
 	// RelErr is |Predicted - Simulated| / max(|Simulated|, tiny).
-	RelErr float64
+	RelErr float64 `json:"rel_err"`
 	// Met reports whether the *simulated* value satisfies the spec
 	// (objectives count as met when they reach Good).
-	Met bool
+	Met bool `json:"met"`
 }
 
 // Report is a full verification of a synthesized design.
