@@ -51,6 +51,8 @@ func benchmarkCostEval(b *testing.B, c bench.Circuit) {
 	for i, v := range comp.Vars() {
 		x[i] = v.Start()
 	}
+	comp.Cost(x) // warm the workspace so steady-state allocations are measured
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if cost := comp.Cost(x); cost <= 0 {

@@ -2,10 +2,17 @@
 // summary of evaluation throughput, for tracking the paper's Table 2
 // "time/ckt evaluation" figure across commits:
 //
-//	go test -run '^$' -bench Table2Eval . | benchjson -out BENCH_oblx.json
+//	go test -run '^$' -bench Table2Eval -benchmem . | benchjson -out BENCH_oblx.json
 //
 // Each Table2Eval benchmark iteration is one cost-function evaluation,
-// so the reported ns/op is directly ns per evaluation.
+// so the reported ns/op is directly ns per evaluation; with -benchmem
+// the bytes/allocs per evaluation are captured too.
+//
+// With -check FILE the parsed results are compared against a previously
+// recorded baseline instead of being written out: the command exits
+// nonzero when any benchmark's ns/eval regressed by more than
+// -max-regress (default 0.15, i.e. 15%) relative to the baseline, or
+// when a baseline entry is missing from the new run.
 package main
 
 import (
@@ -26,6 +33,10 @@ type Entry struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerEval   float64 `json:"ns_per_eval"`
 	EvalsPerSec float64 `json:"evals_per_sec"`
+	// BytesPerEval and AllocsPerEval are present when the run used
+	// -benchmem; they track the hot path's steady-state heap traffic.
+	BytesPerEval  *float64 `json:"bytes_per_eval,omitempty"`
+	AllocsPerEval *int64   `json:"allocs_per_eval,omitempty"`
 }
 
 // Report is the whole output file.
@@ -34,10 +45,11 @@ type Report struct {
 	Entries []Entry `json:"entries"`
 }
 
-// benchLine matches standard go-test benchmark result lines:
+// benchLine matches standard go-test benchmark result lines, with or
+// without the -benchmem columns:
 //
-//	BenchmarkTable2EvalSimpleOTA-8   2500   452000 ns/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+//	BenchmarkTable2EvalSimpleOTA-8   2500   452000 ns/op   128 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
 func parse(r io.Reader, filter string) ([]Entry, error) {
 	var entries []Entry
@@ -63,14 +75,56 @@ func parse(r io.Reader, filter string) ([]Entry, error) {
 		if ns > 0 {
 			e.EvalsPerSec = 1e9 / ns
 		}
+		if m[4] != "" {
+			bytes, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+			}
+			allocs, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			e.BytesPerEval = &bytes
+			e.AllocsPerEval = &allocs
+		}
 		entries = append(entries, e)
 	}
 	return entries, sc.Err()
 }
 
+// check compares entries against the baseline report and returns one
+// line per problem; an empty result means the run is within budget.
+func check(baseline Report, entries []Entry, maxRegress float64) []string {
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var problems []string
+	for _, base := range baseline.Entries {
+		got, ok := byName[base.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from this run", base.Name))
+			continue
+		}
+		if base.NsPerEval <= 0 {
+			continue
+		}
+		limit := base.NsPerEval * (1 + maxRegress)
+		if got.NsPerEval > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.0f ns/eval exceeds baseline %.0f by %.1f%% (budget %.0f%%)",
+				base.Name, got.NsPerEval, base.NsPerEval,
+				100*(got.NsPerEval/base.NsPerEval-1), 100*maxRegress))
+		}
+	}
+	return problems
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here (default stdout)")
 	filter := flag.String("filter", "", "keep only benchmarks whose name contains this substring")
+	checkFile := flag.String("check", "", "compare against this baseline JSON instead of writing output")
+	maxRegress := flag.Float64("max-regress", 0.15, "with -check: allowed fractional ns/eval regression")
 	flag.Parse()
 
 	entries, err := parse(os.Stdin, *filter)
@@ -81,6 +135,28 @@ func main() {
 	if len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
 		os.Exit(1)
+	}
+	if *checkFile != "" {
+		data, err := os.ReadFile(*checkFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline Report
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *checkFile, err)
+			os.Exit(1)
+		}
+		problems := check(baseline, entries, *maxRegress)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d benchmarks within %.0f%% of %s\n",
+			len(baseline.Entries), 100**maxRegress, *checkFile)
+		return
 	}
 	rep := Report{Source: "go test -bench", Entries: entries}
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -8,7 +8,7 @@ import (
 const sample = `goos: linux
 goarch: amd64
 pkg: astrx
-BenchmarkTable2EvalSimpleOTA-8   	    2500	    452103 ns/op
+BenchmarkTable2EvalSimpleOTA-8   	    2500	    452103 ns/op	     128 B/op	       3 allocs/op
 BenchmarkTable2EvalOTA-8         	    1800	    612402.5 ns/op
 BenchmarkTable1Compile-8         	     300	   3921034 ns/op
 PASS
@@ -30,6 +30,41 @@ func TestParse(t *testing.T) {
 	wantRate := 1e9 / 452103
 	if diff := e.EvalsPerSec - wantRate; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("evals/sec %g, want %g", e.EvalsPerSec, wantRate)
+	}
+	if e.BytesPerEval == nil || *e.BytesPerEval != 128 {
+		t.Errorf("bytes/eval = %v, want 128", e.BytesPerEval)
+	}
+	if e.AllocsPerEval == nil || *e.AllocsPerEval != 3 {
+		t.Errorf("allocs/eval = %v, want 3", e.AllocsPerEval)
+	}
+	// Without -benchmem columns the memory fields stay absent.
+	if entries[1].BytesPerEval != nil || entries[1].AllocsPerEval != nil {
+		t.Errorf("entry without memory columns got %v / %v", entries[1].BytesPerEval, entries[1].AllocsPerEval)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	baseline := Report{Entries: []Entry{
+		{Name: "Table2EvalSimpleOTA", NsPerEval: 100000},
+		{Name: "Table2EvalOTA", NsPerEval: 200000},
+		{Name: "Table2EvalGone", NsPerEval: 300000},
+	}}
+	entries := []Entry{
+		{Name: "Table2EvalSimpleOTA", NsPerEval: 110000}, // +10%: within budget
+		{Name: "Table2EvalOTA", NsPerEval: 260000},       // +30%: regression
+	}
+	problems := check(baseline, entries, 0.15)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "Table2EvalOTA") && !strings.Contains(problems[1], "Table2EvalOTA") {
+		t.Errorf("regression on Table2EvalOTA not reported: %v", problems)
+	}
+	if !strings.Contains(strings.Join(problems, "\n"), "missing") {
+		t.Errorf("missing benchmark not reported: %v", problems)
+	}
+	if got := check(baseline, entries, 0.5); len(got) != 1 {
+		t.Errorf("with 50%% budget only the missing entry should remain: %v", got)
 	}
 }
 

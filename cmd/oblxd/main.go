@@ -40,16 +40,17 @@ func main() {
 		progEvery  = flag.Int("progress-every", 500, "default moves between progress events")
 		movesLimit = flag.Int("max-moves-limit", 0, "reject jobs asking for more moves than this (0: no limit)")
 		drainGrace = flag.Duration("drain-grace", 60*time.Second, "how long shutdown waits for jobs to checkpoint")
+		pprofOn    = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/ (see docs/profiling.md)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *stateDir, *workers, *ckptEvery, *progEvery, *movesLimit, *drainGrace); err != nil {
+	if err := run(*addr, *stateDir, *workers, *ckptEvery, *progEvery, *movesLimit, *drainGrace, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "oblxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, drainGrace time.Duration) error {
+func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, drainGrace time.Duration, pprofOn bool) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
 	}
@@ -64,6 +65,7 @@ func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, d
 		CheckpointEvery: ckptEvery,
 		ProgressEvery:   progEvery,
 		MaxMovesLimit:   movesLimit,
+		EnableProfiling: pprofOn,
 		Registry:        metrics.New(),
 		Logf:            logger.Printf,
 	})

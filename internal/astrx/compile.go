@@ -23,7 +23,6 @@ package astrx
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"astrx/internal/anneal"
 	"astrx/internal/circuit"
@@ -150,6 +149,11 @@ type Compiled struct {
 
 	// Options for cost evaluation.
 	Opt CostOptions
+
+	// plan is the precompiled evaluation program (plan.go); ws is the
+	// lazily created shared workspace behind Cost (workspace.go).
+	plan *evalPlan
+	ws   *EvalWorkspace
 }
 
 // CostOptions tunes cost evaluation.
@@ -238,6 +242,9 @@ func Compile(deck *netlist.Deck, opt CostOptions) (*Compiled, error) {
 
 	// (e)+(f): weights for the cost terms.
 	c.Weights = newWeights(deck, bias)
+
+	// (g): the compiled evaluation plan for the zero-allocation hot path.
+	c.plan = buildPlan(c)
 	return c, nil
 }
 
@@ -326,10 +333,4 @@ func sortedNames[T any](m map[string]T) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// isSupplyLike reports whether an element name looks like a supply (used
-// nowhere critical — only to improve a couple of error messages).
-func isSupplyLike(name string) bool {
-	return strings.HasPrefix(name, "vdd") || strings.HasPrefix(name, "vss")
 }

@@ -136,8 +136,11 @@ type CostBreakdown struct {
 }
 
 // Cost evaluates C(x) (implements anneal.Problem together with Vars).
+// It runs on the compiled-plan workspace — the annealer's allocation-free
+// hot path; CostDetail below keeps the map-based evaluator so the two
+// implementations can be checked against each other.
 func (c *Compiled) Cost(x []float64) float64 {
-	return c.CostDetail(x).Total
+	return c.Workspace().Cost(x)
 }
 
 // Vars implements anneal.Problem.

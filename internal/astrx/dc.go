@@ -45,9 +45,14 @@ func (c *Compiled) EvaluateBias(x []float64) *EvalState {
 
 // DCProblem adapts the compiled bias circuit to dcsolve.Problem: the
 // unknowns are the free node voltages, the user design variables are
-// frozen at the values carried in the prefix of x.
+// frozen at the values carried in the prefix of x. It runs on the
+// compiled problem's shared workspace: Residual and Jacobian replay the
+// precompiled KCL program with no per-call allocation, and successive
+// DCProblem calls on one Compiled reuse the same storage (the annealer
+// builds one per Newton move).
 type DCProblem struct {
 	c     *Compiled
+	ws    *EvalWorkspace
 	userX []float64 // length NUser
 	full  []float64 // scratch full vector
 }
@@ -55,11 +60,15 @@ type DCProblem struct {
 // DCProblem builds the Newton problem with the design variables taken
 // from the prefix of x (the rest of x is ignored).
 func (c *Compiled) DCProblem(x []float64) *DCProblem {
-	p := &DCProblem{
-		c:     c,
-		userX: append([]float64(nil), x[:c.NUser]...),
-		full:  make([]float64, len(c.VarList)),
+	ws := c.Workspace()
+	p := &ws.dc
+	p.c = c
+	p.ws = ws
+	p.userX = append(p.userX[:0], x[:c.NUser]...)
+	if cap(p.full) < len(c.VarList) {
+		p.full = make([]float64, len(c.VarList))
 	}
+	p.full = p.full[:len(c.VarList)]
 	copy(p.full, p.userX)
 	return p
 }
@@ -67,100 +76,98 @@ func (c *Compiled) DCProblem(x []float64) *DCProblem {
 // N returns the number of free node voltages.
 func (p *DCProblem) N() int { return len(p.c.Bias.FreeNodes) }
 
-func (p *DCProblem) eval(v []float64) (*EvalState, error) {
+// eval runs the bias-only part of the plan (node voltages, operating
+// points, KCL) on the workspace.
+func (p *DCProblem) eval(v []float64) error {
 	copy(p.full, p.userX)
 	copy(p.full[p.c.NUser:], v)
-	st := p.c.EvaluateBias(p.full)
-	if st.Err != nil {
-		return nil, st.Err
-	}
-	return st, nil
+	p.ws.run(p.full, false)
+	return p.ws.err
 }
 
 // Residual fills f with the KCL residual (current leaving) at each free
 // node.
 func (p *DCProblem) Residual(v, f []float64) error {
-	st, err := p.eval(v)
-	if err != nil {
+	if err := p.eval(v); err != nil {
 		return err
 	}
-	for i, n := range p.c.Bias.FreeNodes {
-		f[i] = st.KCL[n]
+	for i, slot := range p.ws.plan.freeIdx {
+		f[i] = p.ws.kclRes[slot]
 	}
 	return nil
 }
 
 // Jacobian fills j with ∂residual/∂(free node voltage) using the device
-// small-signal conductances and linear element stamps.
+// small-signal conductances and linear element stamps. It replays the
+// same precompiled KCL program as Residual, stamping only entries whose
+// row and column are both free nodes.
 func (p *DCProblem) Jacobian(v []float64, j *linalg.Matrix) error {
-	st, err := p.eval(v)
-	if err != nil {
+	if err := p.eval(v); err != nil {
 		return err
 	}
-	c := p.c
-	col := make(map[string]int, len(c.Bias.FreeNodes))
-	for i, n := range c.Bias.FreeNodes {
-		col[n] = i
-	}
-	stamp := func(rowNode, colNode string, g float64) {
-		r, okR := col[rowNode]
-		cc, okC := col[colNode]
-		if okR && okC {
-			j.Add(r, cc, g)
+	ws := p.ws
+	plan := ws.plan
+	free := plan.freeSlot
+	stamp := func(rs, cs int, g float64) {
+		if rs < 0 || cs < 0 {
+			return
+		}
+		r, c := free[rs], free[cs]
+		if r >= 0 && c >= 0 {
+			j.Add(r, c, g)
 		}
 	}
-	env := exprEnv{vals: st.Vals}
+	env := &ws.valEnv
 
-	for _, e := range c.Bias.Net.Elements {
-		switch e.Kind {
+	for i := range plan.kcl {
+		op := &plan.kcl[i]
+		switch op.kind {
 		case circuit.KindR:
-			rv, err := e.EvalValue(env)
+			ws.resetArgs()
+			rv, err := op.e.EvalValue(env)
 			if err != nil || rv == 0 {
-				return fmt.Errorf("astrx: jacobian: resistor %s: %v", e.Name, err)
+				return fmt.Errorf("astrx: jacobian: resistor %s: %v", op.e.Name, err)
 			}
 			g := 1 / rv
-			a, b := e.Nodes[0], e.Nodes[1]
-			stamp(a, a, g)
-			stamp(b, b, g)
-			stamp(a, b, -g)
-			stamp(b, a, -g)
+			stamp(op.n[0], op.n[0], g)
+			stamp(op.n[1], op.n[1], g)
+			stamp(op.n[0], op.n[1], -g)
+			stamp(op.n[1], op.n[0], -g)
 		case circuit.KindG:
-			gm, err := e.EvalValue(env)
+			ws.resetArgs()
+			gm, err := op.e.EvalValue(env)
 			if err != nil {
 				return err
 			}
-			a, b, cp, cn := e.Nodes[0], e.Nodes[1], e.Nodes[2], e.Nodes[3]
-			stamp(a, cp, gm)
-			stamp(a, cn, -gm)
-			stamp(b, cp, -gm)
-			stamp(b, cn, gm)
+			stamp(op.n[0], op.n[2], gm)
+			stamp(op.n[0], op.n[3], -gm)
+			stamp(op.n[1], op.n[2], -gm)
+			stamp(op.n[1], op.n[3], gm)
 		case circuit.KindM:
-			op := st.MOSOps[e.Name]
-			dd, dg, ds, db := mosTerminalPartials(op)
-			d, g, s, b := e.Nodes[0], e.Nodes[1], e.Nodes[2], e.Nodes[3]
-			// Row d: +Ids; row s: -Ids.
-			for _, t := range []struct {
-				node string
-				dIds float64
-			}{{d, dd}, {g, dg}, {s, ds}, {b, db}} {
-				stamp(d, t.node, t.dIds)
-				stamp(s, t.node, -t.dIds)
+			mop := ws.mosOpAt(op.dev)
+			dd, dg, ds, db := mosTerminalPartials(mop)
+			// Terminal order d g s b = n[0..3]; row d: +Ids, row s: -Ids.
+			parts := [4]float64{dd, dg, ds, db}
+			for k, dIds := range parts {
+				stamp(op.n[0], op.n[k], dIds)
+				stamp(op.n[2], op.n[k], -dIds)
 			}
 		case circuit.KindQ:
-			op := st.BJTOps[e.Name]
-			cN, bN, eN := e.Nodes[0], e.Nodes[1], e.Nodes[2]
-			gmE := op.Gm + op.Go // ∂Ic'/∂vbe'
-			gmC := -op.Go        // ∂Ic'/∂vbc'
-			// Terminal partials (polarity cancels, as with MOS).
-			dIc := map[string]float64{bN: gmE + gmC, eN: -gmE, cN: -gmC}
-			dIb := map[string]float64{bN: op.Gpi + op.Gmu, eN: -op.Gpi, cN: -op.Gmu}
-			for node, g := range dIc {
-				stamp(cN, node, g)
-				stamp(eN, node, -g)
+			qop := ws.bjtOpAt(op.dev)
+			gmE := qop.Gm + qop.Go // ∂Ic'/∂vbe'
+			gmC := -qop.Go         // ∂Ic'/∂vbc'
+			// Terminal partials through the compile-time column
+			// selection, which reproduces the tied-terminal overwrite
+			// semantics of the original map-literal formulation.
+			dIc := [3]float64{gmE + gmC, -gmE, -gmC}
+			dIb := [3]float64{qop.Gpi + qop.Gmu, -qop.Gpi, -qop.Gmu}
+			for _, s := range op.qsel {
+				stamp(op.n[0], s.col, dIc[s.coef])
+				stamp(op.n[2], s.col, -dIc[s.coef])
 			}
-			for node, g := range dIb {
-				stamp(bN, node, g)
-				stamp(eN, node, -g)
+			for _, s := range op.qsel {
+				stamp(op.n[1], s.col, dIb[s.coef])
+				stamp(op.n[2], s.col, -dIb[s.coef])
 			}
 		}
 	}

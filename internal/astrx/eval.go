@@ -233,11 +233,22 @@ func (st *EvalState) evalKCL() {
 // smallSignalNetlist builds the linearized AWE circuit for a jig at the
 // current operating point.
 func (st *EvalState) smallSignalNetlist(j *JigCkt) (*circuit.Netlist, error) {
-	env := exprEnv{vals: st.Vals}
 	elems := make([]*circuit.Element, 0, len(j.Linear)+6*len(j.Devices)+len(j.AllNodes))
-	elems = append(elems, j.Linear...)
 
 	num := func(v float64) expr.Node { return &expr.Num{V: v} }
+
+	// gmin ties every node to ground so G is never singular. They come
+	// first so the MNA unknown ordering is pinned to AllNodes order (the
+	// ties cover every node), which the compiled evaluation plan
+	// (plan.go) stamps against.
+	gmin := st.C.Opt.Gmin
+	for i, n := range j.AllNodes {
+		elems = append(elems, &circuit.Element{
+			Name: fmt.Sprintf("gmin#%d", i), Kind: circuit.KindR,
+			Nodes: []string{n, circuit.Ground}, Value: num(1 / gmin),
+		})
+	}
+	elems = append(elems, j.Linear...)
 	addR := func(name, a, b string, g float64) {
 		// Conductance g as a resistor; tiny conductances are legal.
 		if g == 0 {
@@ -299,18 +310,8 @@ func (st *EvalState) smallSignalNetlist(j *JigCkt) (*circuit.Netlist, error) {
 		}
 	}
 
-	// gmin ties every node to ground so G is never singular.
-	gmin := st.C.Opt.Gmin
-	for i, n := range j.AllNodes {
-		elems = append(elems, &circuit.Element{
-			Name: fmt.Sprintf("gmin#%d", i), Kind: circuit.KindR,
-			Nodes: []string{n, circuit.Ground}, Value: num(1 / gmin),
-		})
-	}
-
 	nl := &circuit.Netlist{Title: j.Name, Elements: elems}
 	nl.BuildIndex()
-	_ = env
 	return nl, nil
 }
 

@@ -23,7 +23,6 @@ import (
 	"math"
 	"math/cmplx"
 
-	"astrx/internal/linalg"
 	"astrx/internal/mna"
 )
 
@@ -40,27 +39,21 @@ var ErrNoDCPath = errors.New("awe: singular G matrix (node without DC path to gr
 
 // Analyzer performs AWE analyses of one assembled MNA system. The LU
 // factorization of G is computed once and shared by every transfer
-// function extracted from the system.
+// function extracted from the system. It is a name-resolving front end
+// over Engine, which hot paths drive directly with precomputed indices.
 type Analyzer struct {
 	sys *mna.System
-	lu  *linalg.LU
-
-	// scratch buffers for the moment recursion
-	cur, nxt []float64
+	eng Engine
 }
 
 // NewAnalyzer factors the system's conductance matrix.
 func NewAnalyzer(sys *mna.System) (*Analyzer, error) {
-	lu, err := linalg.FactorLU(sys.G)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoDCPath, err)
+	a := &Analyzer{sys: sys}
+	a.eng.G, a.eng.C = sys.G, sys.C
+	if err := a.eng.Refactor(); err != nil {
+		return nil, err
 	}
-	return &Analyzer{
-		sys: sys,
-		lu:  lu,
-		cur: make([]float64, sys.Size),
-		nxt: make([]float64, sys.Size),
-	}, nil
+	return a, nil
 }
 
 // TF is a reduced-order transfer function produced by AWE.
@@ -100,25 +93,7 @@ func (a *Analyzer) Moments(src, outPos, outNeg string, n int) ([]float64, error)
 	}
 
 	mu := make([]float64, n)
-	copy(a.cur, b)
-	a.lu.SolveInPlace(a.cur) // m_0
-	for k := 0; k < n; k++ {
-		mu[k] = a.cur[ip]
-		if in >= 0 {
-			mu[k] -= a.cur[in]
-		}
-		if k == n-1 {
-			break
-		}
-		// m_{k+1} = -G⁻¹ C m_k (allocation-free: the recursion runs
-		// hundreds of thousands of times per synthesis).
-		a.sys.C.MulVecInto(a.nxt, a.cur)
-		for i := range a.nxt {
-			a.nxt[i] = -a.nxt[i]
-		}
-		a.lu.SolveInPlace(a.nxt)
-		a.cur, a.nxt = a.nxt, a.cur
-	}
+	a.eng.MomentsInto(mu, b, ip, in)
 	return mu, nil
 }
 
@@ -143,299 +118,13 @@ func (a *Analyzer) TransferFunction(src, outPos, outNeg string, q int) (*TF, err
 
 // FitMoments fits a reduced-order model to a moment sequence. It is
 // exported separately so tests can exercise the Padé machinery directly.
+// It is a convenience wrapper over FitWorkspace.FitMomentsInto, which
+// the synthesis hot path uses with persistent scratch storage.
 func FitMoments(mu []float64, q int) (*TF, error) {
-	if 2*q > len(mu) {
-		q = len(mu) / 2
-	}
-	mu0 := mu[0]
-	// A (near) zero DC value with zero higher moments is a dead output.
-	allZero := true
-	for _, m := range mu {
-		if m != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
-		return &TF{Moments: mu, Order: 0}, nil
-	}
-
-	// Frequency scaling: μ'_k = μ_k / (μ_ref · β^k) keeps the Hankel
-	// system well conditioned. β estimates the dominant time constant.
-	beta := 1.0
-	if mu0 != 0 && mu[1] != 0 {
-		beta = math.Abs(mu[1] / mu0)
-	} else {
-		// Fall back to the first nonzero ratio.
-		for k := 0; k+1 < len(mu); k++ {
-			if mu[k] != 0 && mu[k+1] != 0 {
-				beta = math.Abs(mu[k+1] / mu[k])
-				break
-			}
-		}
-	}
-	if beta == 0 || math.IsInf(beta, 0) || math.IsNaN(beta) {
-		beta = 1
-	}
-	ref := mu0
-	if ref == 0 {
-		ref = 1
-	}
-	scaled := make([]float64, len(mu))
-	bk := 1.0
-	for k := range mu {
-		scaled[k] = mu[k] / (ref * bk)
-		bk *= beta
-	}
-
-	// Search orders from high to low and stop at the first *stable*
-	// validated fit — equivalent to picking the highest validated stable
-	// order, but the common case costs one or two fits instead of q. An
-	// unstable validated fit wins only when no stable order reproduced
-	// the moments (a genuinely unstable circuit): spurious RHP poles at
-	// the edge of moment resolution are rejected in favor of the stable
-	// fit one order down.
-	var best, validated *TF
-	bestScore := math.Inf(1)
-	for order := q; order >= 1; order-- {
-		tf, errMax, ok := tryFit(scaled, order)
-		if !ok {
-			continue
-		}
-		tf.Order = order
-		score := errMax
-		if !tf.Stable() {
-			score *= 1e6 // strongly prefer stable fits in the fallback
-		}
-		if score < bestScore {
-			bestScore, best = score, tf
-		}
-		if errMax < 1e-9 {
-			if tf.Stable() {
-				validated = tf
-				break
-			}
-			if validated == nil {
-				validated = tf // keep looking for a stable one below
-			}
-		}
-	}
-	if validated != nil {
-		best = validated
-	}
-	if best == nil {
-		// Purely resistive response (or numerically dead): constant TF.
-		return &TF{Moments: mu, Order: 0}, nil
-	}
-	// Unscale: μ'_k = Σ(c_i/ref)(λ_i/β)^k, so λ = β·λ' and hence
-	// p = 1/λ = p'/β; residues k = -c·p = (ref/β)·k'.
-	for i := range best.Poles {
-		best.Poles[i] /= complex(beta, 0)
-		best.Residues[i] *= complex(ref/beta, 0)
-	}
-	best.Moments = mu
-	best.deriveZeros()
-	return best, nil
-}
-
-// tryFit attempts a Padé fit of the given order on scaled moments, using
-// the first 2q for the fit and every available moment for validation. It
-// returns the worst relative moment-reproduction error.
-func tryFit(mu []float64, q int) (*TF, float64, bool) {
-	// Solve the Hankel system Σ_j a_j μ_{k+j} = -μ_{k+q}, k = 0..q-1.
-	h := linalg.NewMatrix(q, q)
-	rhs := make([]float64, q)
-	for k := 0; k < q; k++ {
-		for j := 0; j < q; j++ {
-			h.Set(k, j, mu[k+j])
-		}
-		rhs[k] = -mu[k+q]
-	}
-	acoef, err := linalg.SolveLinear(h, rhs)
-	if err != nil {
-		return nil, 0, false
-	}
-	// Characteristic polynomial λ^q + a_{q-1} λ^{q-1} + … + a_0 = 0.
-	poly := make([]complex128, q+1)
-	for j := 0; j < q; j++ {
-		poly[j] = complex(acoef[j], 0)
-	}
-	poly[q] = 1
-	lambda, err := linalg.PolyRoots(poly)
-	if err != nil {
-		return nil, 0, false
-	}
-	maxL := 0.0
-	for _, l := range lambda {
-		if l == 0 || cmplx.IsNaN(l) || cmplx.IsInf(l) {
-			return nil, 0, false
-		}
-		if a := cmplx.Abs(l); a > maxL {
-			maxL = a
-		}
-	}
-	// Rank-deficiency signatures: (a) duplicated characteristic roots —
-	// a true root split in two plus arbitrary extras; (b) roots many
-	// decades below the dominant one, i.e. "poles" far beyond what 2q
-	// double-precision moments can resolve.
-	for i := range lambda {
-		if cmplx.Abs(lambda[i]) < 1e-9*maxL {
-			return nil, 0, false
-		}
-		for j := i + 1; j < len(lambda); j++ {
-			if cmplx.Abs(lambda[i]-lambda[j]) < 1e-6*maxL {
-				return nil, 0, false
-			}
-		}
-	}
-	// Residue recovery: μ_k = Σ c_i λ_i^k for k = 0..q-1 (Vandermonde).
-	v := linalg.NewCMatrix(q, q)
-	for i := 0; i < q; i++ {
-		p := complex128(1)
-		for k := 0; k < q; k++ {
-			v.Set(k, i, p)
-			p *= lambda[i]
-		}
-	}
-	fv, err := linalg.FactorCLU(v)
-	if err != nil {
-		return nil, 0, false
-	}
-	mvec := make([]complex128, q)
-	for k := 0; k < q; k++ {
-		mvec[k] = complex(mu[k], 0)
-	}
-	c := fv.Solve(mvec)
-
-	// Rank-deficiency guard: when the circuit has fewer than q observable
-	// poles the Hankel system is (numerically) rank deficient and the
-	// solver returns a recurrence whose extra characteristic roots are
-	// arbitrary. Those spurious poles carry essentially zero residue, so
-	// their presence is detected here and the order is reduced.
-	maxC := 0.0
-	for _, ci := range c {
-		if a := cmplx.Abs(ci); a > maxC {
-			maxC = a
-		}
-	}
-	if maxC == 0 {
-		return nil, 0, false
-	}
-	for _, ci := range c {
-		if cmplx.Abs(ci) < 1e-8*maxC {
-			return nil, 0, false
-		}
-	}
-	// Massive residue cancellation (Σc must equal μ'_0, which is O(1)
-	// after scaling) marks an ill-conditioned split of a true pole.
-	if maxC > 1e6*(math.Abs(mu[0])+1e-12) {
-		return nil, 0, false
-	}
-
-	// Validate: the model must reproduce every available moment, not just
-	// the 2q used for the fit. The worst relative error is the fit score.
-	// (λ^k is carried multiplicatively — cmplx.Pow in this loop was a
-	// measurable fraction of the whole synthesis runtime.)
-	errMax := 0.0
-	lamPow := make([]complex128, q)
-	for i := range lamPow {
-		lamPow[i] = cmplx.Pow(lambda[i], complex(float64(q), 0))
-	}
-	for k := q; k < len(mu); k++ {
-		pred := complex128(0)
-		for i := 0; i < q; i++ {
-			pred += c[i] * lamPow[i]
-			lamPow[i] *= lambda[i]
-		}
-		scale := math.Abs(mu[0]) + math.Abs(mu[k]) + 1e-12
-		if e := math.Abs(real(pred)-mu[k]) / scale; e > errMax {
-			errMax = e
-		}
-	}
-
-	tf := &TF{
-		Poles:    make([]complex128, q),
-		Residues: make([]complex128, q),
-	}
-	for i := 0; i < q; i++ {
-		// λ_i = 1/p_i, residue k_i = -c_i·p_i.
-		p := 1 / lambda[i]
-		tf.Poles[i] = p
-		tf.Residues[i] = -c[i] * p
-	}
-	return tf, errMax, true
-}
-
-// deriveZeros expands the numerator polynomial N(s) = Σ k_i·Π_{j≠i}(s-p_j)
-// in a frequency-normalized variable and roots it.
-func (tf *TF) deriveZeros() {
-	q := len(tf.Poles)
-	if q <= 1 {
-		tf.Zeros = nil
-		return
-	}
-	// Normalize by the geometric mean pole magnitude for conditioning.
-	w0 := 1.0
-	prod := 1.0
-	for _, p := range tf.Poles {
-		prod *= cmplx.Abs(p)
-	}
-	if prod > 0 {
-		w0 = math.Pow(prod, 1/float64(q))
-	}
-	// N(σ) with s = w0·σ: Σ (k_i/w0^{q-1}) Π_{j≠i}(σ - p_j/w0)
-	num := make([]complex128, q) // degree q-1
-	for i := 0; i < q; i++ {
-		term := []complex128{tf.Residues[i]}
-		for j := 0; j < q; j++ {
-			if j == i {
-				continue
-			}
-			pj := tf.Poles[j] / complex(w0, 0)
-			next := make([]complex128, len(term)+1)
-			for t, co := range term {
-				next[t+1] += co
-				next[t] -= co * pj
-			}
-			term = next
-		}
-		for t := range term {
-			num[t] += term[t]
-		}
-	}
-	// Degenerate numerators (all ~0 relative to residues) → no zeros.
-	mag := 0.0
-	for _, co := range num {
-		if a := cmplx.Abs(co); a > mag {
-			mag = a
-		}
-	}
-	if mag == 0 {
-		tf.Zeros = nil
-		return
-	}
-	roots, err := linalg.PolyRoots(num)
-	if err != nil {
-		tf.Zeros = nil
-		return
-	}
-	// Keep only zeros within a few decades of the pole cluster: roots
-	// far outside are artifacts of a numerically tiny leading numerator
-	// coefficient and carry no signal.
-	maxPole := 0.0
-	for _, p := range tf.Poles {
-		if a := cmplx.Abs(p); a > maxPole {
-			maxPole = a
-		}
-	}
-	kept := roots[:0]
-	for _, r := range roots {
-		r *= complex(w0, 0)
-		if cmplx.Abs(r) <= 1e4*maxPole {
-			kept = append(kept, r)
-		}
-	}
-	tf.Zeros = kept
+	var ws FitWorkspace
+	tf := new(TF)
+	ws.FitMomentsInto(tf, mu, q)
+	return tf, nil
 }
 
 // Eval evaluates the reduced model at the complex frequency s.

@@ -1,0 +1,408 @@
+package awe
+
+import (
+	"math"
+	"math/cmplx"
+
+	"astrx/internal/linalg"
+)
+
+// FitWorkspace holds every scratch buffer the scaled Padé fit needs, so
+// a steady-state fit performs no heap allocation. The zero value is
+// ready to use; one workspace serves one goroutine.
+type FitWorkspace struct {
+	scaled []float64
+
+	// tryFit scratch
+	h      linalg.Matrix
+	hlu    linalg.LU
+	rhs    []float64
+	acoef  []float64
+	poly   []complex128
+	rf     linalg.RootFinder
+	v      linalg.CMatrix
+	vlu    linalg.CLU
+	mvec   []complex128
+	cvec   []complex128
+	lamPow []complex128
+
+	// order-search candidates (value copies, not aliases, because the
+	// try buffer is overwritten by the next order attempted)
+	try, keepBest, keepVal TF
+
+	// deriveZeros scratch
+	num, term, tnext []complex128
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growC(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		return make([]complex128, n)
+	}
+	return s[:n]
+}
+
+func reuseMat(m *linalg.Matrix, r, c int) {
+	if cap(m.Data) < r*c {
+		m.Data = make([]float64, r*c)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+}
+
+func reuseCMat(m *linalg.CMatrix, r, c int) {
+	if cap(m.Data) < r*c {
+		m.Data = make([]complex128, r*c)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:r*c]
+}
+
+// copyInto overwrites dst's pole/residue/order fields with src's values,
+// reusing dst's backing arrays.
+func copyInto(dst, src *TF) {
+	dst.Poles = append(dst.Poles[:0], src.Poles...)
+	dst.Residues = append(dst.Residues[:0], src.Residues...)
+	dst.Order = src.Order
+}
+
+// FitMomentsInto is FitMoments with caller-owned result and workspace
+// storage: dst is fully overwritten (its slices are reused), and no
+// allocation happens once the workspace has warmed up. The arithmetic is
+// identical to the original allocating implementation, so results are
+// bit-exact with FitMoments.
+func (ws *FitWorkspace) FitMomentsInto(dst *TF, mu []float64, q int) {
+	if 2*q > len(mu) {
+		q = len(mu) / 2
+	}
+	mu0 := mu[0]
+	// A (near) zero DC value with zero higher moments is a dead output.
+	allZero := true
+	for _, m := range mu {
+		if m != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		ws.setConstant(dst, mu)
+		return
+	}
+
+	// Frequency scaling: μ'_k = μ_k / (μ_ref · β^k) keeps the Hankel
+	// system well conditioned. β estimates the dominant time constant.
+	beta := 1.0
+	if mu0 != 0 && mu[1] != 0 {
+		beta = math.Abs(mu[1] / mu0)
+	} else {
+		// Fall back to the first nonzero ratio.
+		for k := 0; k+1 < len(mu); k++ {
+			if mu[k] != 0 && mu[k+1] != 0 {
+				beta = math.Abs(mu[k+1] / mu[k])
+				break
+			}
+		}
+	}
+	if beta == 0 || math.IsInf(beta, 0) || math.IsNaN(beta) {
+		beta = 1
+	}
+	ref := mu0
+	if ref == 0 {
+		ref = 1
+	}
+	ws.scaled = growF(ws.scaled, len(mu))
+	scaled := ws.scaled
+	bk := 1.0
+	for k := range mu {
+		scaled[k] = mu[k] / (ref * bk)
+		bk *= beta
+	}
+
+	// Search orders from high to low and stop at the first *stable*
+	// validated fit — equivalent to picking the highest validated stable
+	// order, but the common case costs one or two fits instead of q. An
+	// unstable validated fit wins only when no stable order reproduced
+	// the moments (a genuinely unstable circuit): spurious RHP poles at
+	// the edge of moment resolution are rejected in favor of the stable
+	// fit one order down.
+	var best, validated *TF
+	bestScore := math.Inf(1)
+	for order := q; order >= 1; order-- {
+		errMax, ok := ws.tryFit(scaled, order)
+		if !ok {
+			continue
+		}
+		tf := &ws.try
+		tf.Order = order
+		score := errMax
+		if !tf.Stable() {
+			score *= 1e6 // strongly prefer stable fits in the fallback
+		}
+		if score < bestScore {
+			bestScore = score
+			copyInto(&ws.keepBest, tf)
+			best = &ws.keepBest
+		}
+		if errMax < 1e-9 {
+			if tf.Stable() {
+				copyInto(&ws.keepVal, tf)
+				validated = &ws.keepVal
+				break
+			}
+			if validated == nil {
+				copyInto(&ws.keepVal, tf) // keep looking for a stable one below
+				validated = &ws.keepVal
+			}
+		}
+	}
+	if validated != nil {
+		best = validated
+	}
+	if best == nil {
+		// Purely resistive response (or numerically dead): constant TF.
+		ws.setConstant(dst, mu)
+		return
+	}
+	copyInto(dst, best)
+	// Unscale: μ'_k = Σ(c_i/ref)(λ_i/β)^k, so λ = β·λ' and hence
+	// p = 1/λ = p'/β; residues k = -c·p = (ref/β)·k'.
+	for i := range dst.Poles {
+		dst.Poles[i] /= complex(beta, 0)
+		dst.Residues[i] *= complex(ref/beta, 0)
+	}
+	dst.Moments = append(dst.Moments[:0], mu...)
+	ws.deriveZerosInto(dst)
+}
+
+// setConstant fills dst with the order-0 (constant) model.
+func (ws *FitWorkspace) setConstant(dst *TF, mu []float64) {
+	dst.Poles = dst.Poles[:0]
+	dst.Residues = dst.Residues[:0]
+	dst.Zeros = dst.Zeros[:0]
+	dst.Moments = append(dst.Moments[:0], mu...)
+	dst.Order = 0
+}
+
+// tryFit attempts a Padé fit of the given order on scaled moments, using
+// the first 2q for the fit and every available moment for validation. On
+// success the candidate is left in ws.try and the worst relative
+// moment-reproduction error is returned.
+func (ws *FitWorkspace) tryFit(mu []float64, q int) (float64, bool) {
+	// Solve the Hankel system Σ_j a_j μ_{k+j} = -μ_{k+q}, k = 0..q-1.
+	reuseMat(&ws.h, q, q)
+	ws.rhs = growF(ws.rhs, q)
+	for k := 0; k < q; k++ {
+		for j := 0; j < q; j++ {
+			ws.h.Set(k, j, mu[k+j])
+		}
+		ws.rhs[k] = -mu[k+q]
+	}
+	if err := ws.hlu.Factor(&ws.h); err != nil {
+		return 0, false
+	}
+	ws.acoef = growF(ws.acoef, q)
+	ws.hlu.SolveInto(ws.acoef, ws.rhs)
+	// Characteristic polynomial λ^q + a_{q-1} λ^{q-1} + … + a_0 = 0.
+	ws.poly = growC(ws.poly, q+1)
+	for j := 0; j < q; j++ {
+		ws.poly[j] = complex(ws.acoef[j], 0)
+	}
+	ws.poly[q] = 1
+	lambda, err := ws.rf.Roots(ws.poly)
+	if err != nil {
+		return 0, false
+	}
+	maxL := 0.0
+	for _, l := range lambda {
+		if l == 0 || cmplx.IsNaN(l) || cmplx.IsInf(l) {
+			return 0, false
+		}
+		if a := cmplx.Abs(l); a > maxL {
+			maxL = a
+		}
+	}
+	// Rank-deficiency signatures: (a) duplicated characteristic roots —
+	// a true root split in two plus arbitrary extras; (b) roots many
+	// decades below the dominant one, i.e. "poles" far beyond what 2q
+	// double-precision moments can resolve.
+	for i := range lambda {
+		if cmplx.Abs(lambda[i]) < 1e-9*maxL {
+			return 0, false
+		}
+		for j := i + 1; j < len(lambda); j++ {
+			if cmplx.Abs(lambda[i]-lambda[j]) < 1e-6*maxL {
+				return 0, false
+			}
+		}
+	}
+	// Residue recovery: μ_k = Σ c_i λ_i^k for k = 0..q-1 (Vandermonde).
+	reuseCMat(&ws.v, q, q)
+	for i := 0; i < q; i++ {
+		p := complex128(1)
+		for k := 0; k < q; k++ {
+			ws.v.Set(k, i, p)
+			p *= lambda[i]
+		}
+	}
+	if err := ws.vlu.Factor(&ws.v); err != nil {
+		return 0, false
+	}
+	ws.mvec = growC(ws.mvec, q)
+	for k := 0; k < q; k++ {
+		ws.mvec[k] = complex(mu[k], 0)
+	}
+	ws.cvec = growC(ws.cvec, q)
+	ws.vlu.SolveInto(ws.cvec, ws.mvec)
+	c := ws.cvec
+
+	// Rank-deficiency guard: when the circuit has fewer than q observable
+	// poles the Hankel system is (numerically) rank deficient and the
+	// solver returns a recurrence whose extra characteristic roots are
+	// arbitrary. Those spurious poles carry essentially zero residue, so
+	// their presence is detected here and the order is reduced.
+	maxC := 0.0
+	for _, ci := range c {
+		if a := cmplx.Abs(ci); a > maxC {
+			maxC = a
+		}
+	}
+	if maxC == 0 {
+		return 0, false
+	}
+	for _, ci := range c {
+		if cmplx.Abs(ci) < 1e-8*maxC {
+			return 0, false
+		}
+	}
+	// Massive residue cancellation (Σc must equal μ'_0, which is O(1)
+	// after scaling) marks an ill-conditioned split of a true pole.
+	if maxC > 1e6*(math.Abs(mu[0])+1e-12) {
+		return 0, false
+	}
+
+	// Validate: the model must reproduce every available moment, not just
+	// the 2q used for the fit. The worst relative error is the fit score.
+	// (λ^k is carried multiplicatively — cmplx.Pow in this loop was a
+	// measurable fraction of the whole synthesis runtime.)
+	errMax := 0.0
+	ws.lamPow = growC(ws.lamPow, q)
+	lamPow := ws.lamPow
+	for i := range lamPow {
+		lamPow[i] = cmplx.Pow(lambda[i], complex(float64(q), 0))
+	}
+	for k := q; k < len(mu); k++ {
+		pred := complex128(0)
+		for i := 0; i < q; i++ {
+			pred += c[i] * lamPow[i]
+			lamPow[i] *= lambda[i]
+		}
+		scale := math.Abs(mu[0]) + math.Abs(mu[k]) + 1e-12
+		if e := math.Abs(real(pred)-mu[k]) / scale; e > errMax {
+			errMax = e
+		}
+	}
+
+	ws.try.Poles = ws.try.Poles[:0]
+	ws.try.Residues = ws.try.Residues[:0]
+	for i := 0; i < q; i++ {
+		// λ_i = 1/p_i, residue k_i = -c_i·p_i.
+		p := 1 / lambda[i]
+		ws.try.Poles = append(ws.try.Poles, p)
+		ws.try.Residues = append(ws.try.Residues, -c[i]*p)
+	}
+	return errMax, true
+}
+
+// deriveZeros recomputes tf.Zeros from its poles and residues with
+// throwaway scratch (tests use it directly; hot paths go through
+// FitWorkspace.deriveZerosInto).
+func (tf *TF) deriveZeros() {
+	var ws FitWorkspace
+	ws.deriveZerosInto(tf)
+}
+
+// deriveZerosInto expands the numerator polynomial
+// N(s) = Σ k_i·Π_{j≠i}(s-p_j) in a frequency-normalized variable and
+// roots it, writing tf.Zeros in place.
+func (ws *FitWorkspace) deriveZerosInto(tf *TF) {
+	q := len(tf.Poles)
+	if q <= 1 {
+		tf.Zeros = tf.Zeros[:0]
+		return
+	}
+	// Normalize by the geometric mean pole magnitude for conditioning.
+	w0 := 1.0
+	prod := 1.0
+	for _, p := range tf.Poles {
+		prod *= cmplx.Abs(p)
+	}
+	if prod > 0 {
+		w0 = math.Pow(prod, 1/float64(q))
+	}
+	// N(σ) with s = w0·σ: Σ (k_i/w0^{q-1}) Π_{j≠i}(σ - p_j/w0)
+	ws.num = growC(ws.num, q) // degree q-1
+	num := ws.num
+	for t := range num {
+		num[t] = 0
+	}
+	for i := 0; i < q; i++ {
+		ws.term = append(ws.term[:0], tf.Residues[i])
+		term := ws.term
+		for j := 0; j < q; j++ {
+			if j == i {
+				continue
+			}
+			pj := tf.Poles[j] / complex(w0, 0)
+			ws.tnext = growC(ws.tnext, len(term)+1)
+			next := ws.tnext
+			for t := range next {
+				next[t] = 0
+			}
+			for t, co := range term {
+				next[t+1] += co
+				next[t] -= co * pj
+			}
+			ws.term, ws.tnext = next, term
+			term = ws.term
+		}
+		for t := range term {
+			num[t] += term[t]
+		}
+	}
+	// Degenerate numerators (all ~0 relative to residues) → no zeros.
+	mag := 0.0
+	for _, co := range num {
+		if a := cmplx.Abs(co); a > mag {
+			mag = a
+		}
+	}
+	if mag == 0 {
+		tf.Zeros = tf.Zeros[:0]
+		return
+	}
+	roots, err := ws.rf.Roots(num)
+	if err != nil {
+		tf.Zeros = tf.Zeros[:0]
+		return
+	}
+	// Keep only zeros within a few decades of the pole cluster: roots
+	// far outside are artifacts of a numerically tiny leading numerator
+	// coefficient and carry no signal.
+	maxPole := 0.0
+	for _, p := range tf.Poles {
+		if a := cmplx.Abs(p); a > maxPole {
+			maxPole = a
+		}
+	}
+	tf.Zeros = tf.Zeros[:0]
+	for _, r := range roots {
+		r *= complex(w0, 0)
+		if cmplx.Abs(r) <= 1e4*maxPole {
+			tf.Zeros = append(tf.Zeros, r)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"astrx/internal/astrx"
+)
+
+// The compiled evaluation plan (astrx/plan.go + workspace.go) must be a
+// drop-in replacement for the map-based evaluator: same cost, same spec
+// values, same KCL residuals, same transfer-function models, on every
+// benchmark deck. These tests drive both implementations through
+// identical evaluation sequences and require agreement to 1e-12
+// relative — any divergence means the plan compiler mis-translated a
+// stamp, an ordering, or an error path.
+
+const equivTol = 1e-12
+
+// relEq reports |a-b| <= tol·max(1, |a|, |b|), treating equal NaNs as
+// equal (both evaluators flag a failed spec with NaN).
+func relEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	scale := 1.0
+	if v := math.Abs(a); v > scale {
+		scale = v
+	}
+	if v := math.Abs(b); v > scale {
+		scale = v
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+func crelEq(a, b complex128, tol float64) bool {
+	scale := 1.0
+	if v := cmplx.Abs(a); v > scale {
+		scale = v
+	}
+	if v := cmplx.Abs(b); v > scale {
+		scale = v
+	}
+	return cmplx.Abs(a-b) <= tol*scale
+}
+
+// evalSequence builds a deterministic walk through the design space:
+// the deck's start point plus pseudo-random points spread across each
+// variable's range. Some land in infeasible corners on purpose — the
+// two evaluators must agree on failures too.
+func evalSequence(c *astrx.Compiled, n int) [][]float64 {
+	vars := c.Vars()
+	rng := rand.New(rand.NewSource(12345))
+	seq := make([][]float64, 0, n+1)
+	x0 := make([]float64, len(vars))
+	for i := range vars {
+		x0[i] = vars[i].Start()
+	}
+	seq = append(seq, x0)
+	for k := 0; k < n; k++ {
+		x := make([]float64, len(vars))
+		for i := range vars {
+			v := &vars[i]
+			x[i] = v.Min + rng.Float64()*(v.Max-v.Min)
+		}
+		seq = append(seq, x)
+	}
+	return seq
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestCompiledPlanMatchesLegacyEvaluator is the equivalence suite: for
+// every Table 2 deck, the workspace path (Compiled.Cost / CostDetail on
+// the shared workspace) and the legacy map-based path
+// (Compiled.Evaluate + CostFromState) must agree on every evaluation of
+// an identical sequence. Two Compiled instances are used because the
+// adaptive cost weights carry state across evaluations — each
+// implementation owns its own trajectory, and the trajectories stay
+// aligned only while every cost agrees.
+func TestCompiledPlanMatchesLegacyEvaluator(t *testing.T) {
+	for _, ckt := range Table2Suite {
+		ckt := ckt
+		t.Run(string(ckt), func(t *testing.T) {
+			legacy, err := Compile(ckt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planned, err := Compile(ckt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, x := range evalSequence(legacy, 12) {
+				st := legacy.Evaluate(x)
+				bdL := legacy.CostFromState(st)
+				ws := planned.Workspace()
+				bdW := ws.CostDetail(x)
+				stW := ws.State()
+
+				if bdL.Failed != bdW.Failed {
+					t.Fatalf("eval %d: failed mismatch: legacy %v, plan %v (legacy err %v, plan err %v)",
+						k, bdL.Failed, bdW.Failed, st.Err, stW.Err)
+				}
+				comps := [][3]any{
+					{"total", bdL.Total, bdW.Total},
+					{"objective", bdL.Objective, bdW.Objective},
+					{"perf", bdL.Perf, bdW.Perf},
+					{"dev", bdL.Dev, bdW.Dev},
+					{"dc", bdL.DC, bdW.DC},
+				}
+				for _, c := range comps {
+					a, b := c[1].(float64), c[2].(float64)
+					if !relEq(a, b, equivTol) {
+						t.Errorf("eval %d: cost %s: legacy %.17g, plan %.17g", k, c[0], a, b)
+					}
+				}
+				if bdL.Failed {
+					continue // spec/KCL/TF values are undefined after a failure
+				}
+
+				if len(st.SpecVals) != len(stW.SpecVals) {
+					t.Fatalf("eval %d: spec count: legacy %d, plan %d", k, len(st.SpecVals), len(stW.SpecVals))
+				}
+				for _, name := range sortedKeys(st.SpecVals) {
+					if !relEq(st.SpecVals[name], stW.SpecVals[name], equivTol) {
+						t.Errorf("eval %d: spec %s: legacy %.17g, plan %.17g",
+							k, name, st.SpecVals[name], stW.SpecVals[name])
+					}
+				}
+				if len(st.KCL) != len(stW.KCL) {
+					t.Fatalf("eval %d: KCL node count: legacy %d, plan %d", k, len(st.KCL), len(stW.KCL))
+				}
+				for _, node := range sortedKeys(st.KCL) {
+					if !relEq(st.KCL[node], stW.KCL[node], equivTol) {
+						t.Errorf("eval %d: KCL residual at %s: legacy %.17g, plan %.17g",
+							k, node, st.KCL[node], stW.KCL[node])
+					}
+					if !relEq(st.KCLFlow[node], stW.KCLFlow[node], equivTol) {
+						t.Errorf("eval %d: KCL flow at %s: legacy %.17g, plan %.17g",
+							k, node, st.KCLFlow[node], stW.KCLFlow[node])
+					}
+				}
+				if len(st.TFs) != len(stW.TFs) {
+					t.Fatalf("eval %d: TF count: legacy %d, plan %d", k, len(st.TFs), len(stW.TFs))
+				}
+				for _, name := range sortedKeys(st.TFs) {
+					tfL, tfW := st.TFs[name], stW.TFs[name]
+					if tfL.Order != tfW.Order || len(tfL.Poles) != len(tfW.Poles) || len(tfL.Zeros) != len(tfW.Zeros) {
+						t.Errorf("eval %d: tf %s shape: legacy q=%d p=%d z=%d, plan q=%d p=%d z=%d",
+							k, name, tfL.Order, len(tfL.Poles), len(tfL.Zeros),
+							tfW.Order, len(tfW.Poles), len(tfW.Zeros))
+						continue
+					}
+					for i := range tfL.Poles {
+						if !crelEq(tfL.Poles[i], tfW.Poles[i], equivTol) {
+							t.Errorf("eval %d: tf %s pole %d: legacy %v, plan %v",
+								k, name, i, tfL.Poles[i], tfW.Poles[i])
+						}
+					}
+					for i := range tfL.Zeros {
+						if !crelEq(tfL.Zeros[i], tfW.Zeros[i], equivTol) {
+							t.Errorf("eval %d: tf %s zero %d: legacy %v, plan %v",
+								k, name, i, tfL.Zeros[i], tfW.Zeros[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkspaceReuseIsDeterministic pins the zero-state-leak property
+// the annealer's checkpoint/resume depends on: evaluating a sequence
+// through one long-lived workspace must give bit-identical costs to
+// evaluating the same sequence with a fresh workspace per point.
+// (Adaptive weights live on the Compiled, not the workspace, so both
+// sides see the same weight trajectory as long as the costs agree.)
+func TestWorkspaceReuseIsDeterministic(t *testing.T) {
+	for _, ckt := range []Circuit{SimpleOTA, BiCMOSTwoStage} {
+		ckt := ckt
+		t.Run(string(ckt), func(t *testing.T) {
+			shared, err := Compile(ckt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Compile(ckt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, x := range evalSequence(shared, 20) {
+				got := shared.Cost(x)                // one reused workspace
+				want := fresh.NewWorkspace().Cost(x) // a new workspace every time
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("eval %d: reused workspace cost %.17g, fresh workspace cost %.17g", k, got, want)
+				}
+			}
+		})
+	}
+}

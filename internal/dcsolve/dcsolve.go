@@ -46,6 +46,38 @@ type Options struct {
 	// best-effort iterate — a simulated catastrophic failure). It exists
 	// for fault injection; see internal/faults.
 	FailHook func() bool
+	// Work, when set, supplies reusable iteration storage so repeated
+	// solves on same-sized problems allocate nothing (OBLX performs one
+	// small solve per Newton annealing move). With Work set, Result.V
+	// and Step's return alias the workspace and are only valid until the
+	// next solve that uses it — copy what must be kept.
+	Work *Workspace
+}
+
+// Workspace holds the per-solve scratch of the Newton iteration: the
+// iterate, residual and trial vectors, the Jacobian, and its LU factor.
+// The zero value is ready to use; buffers grow to the largest problem
+// seen. It is single-goroutine state.
+type Workspace struct {
+	v, f, dv, trial, ftrial []float64
+	j                       linalg.Matrix
+	lu                      linalg.LU
+}
+
+// size readies every buffer for an n-unknown solve.
+func (w *Workspace) size(n int) {
+	if cap(w.v) < n {
+		w.v = make([]float64, n)
+		w.f = make([]float64, n)
+		w.dv = make([]float64, n)
+		w.trial = make([]float64, n)
+		w.ftrial = make([]float64, n)
+	}
+	w.v, w.f, w.dv = w.v[:n], w.f[:n], w.dv[:n]
+	w.trial, w.ftrial = w.trial[:n], w.ftrial[:n]
+	if w.j.Rows != n || w.j.Cols != n {
+		w.j = *linalg.NewMatrix(n, n)
+	}
 }
 
 func (o *Options) defaults() {
@@ -102,7 +134,9 @@ func Solve(ctx context.Context, p Problem, v0 []float64, opt Options) (*Result, 
 	if err := checkFinite(v0); err != nil {
 		return nil, err
 	}
-	v := append([]float64(nil), v0...)
+	// newton copies its input into the workspace and never mutates it,
+	// so v0 can be handed over directly.
+	v := v0
 	if opt.GminSteps > 0 {
 		// Continuation from a heavily loaded system down to Gmin.
 		g := 1e-3
@@ -136,23 +170,29 @@ func Step(p Problem, v0 []float64, opt Options) ([]float64, error) {
 		return nil, fmt.Errorf("%w (injected)", ErrNoConvergence)
 	}
 	n := p.N()
-	f := make([]float64, n)
+	w := opt.Work
+	if w == nil {
+		w = new(Workspace)
+	}
+	w.size(n)
+	f := w.f
 	if err := p.Residual(v0, f); err != nil {
 		return nil, fmt.Errorf("dcsolve: %w", err)
 	}
-	j := linalg.NewMatrix(n, n)
+	j := &w.j
+	j.Zero()
 	if err := p.Jacobian(v0, j); err != nil {
 		return nil, fmt.Errorf("dcsolve: %w", err)
 	}
 	for i := 0; i < n; i++ {
 		j.Add(i, i, opt.Gmin)
 	}
-	lu, err := linalg.FactorLU(j)
-	if err != nil {
+	if err := w.lu.Factor(j); err != nil {
 		return nil, fmt.Errorf("dcsolve: singular Jacobian: %w", err)
 	}
-	dv := lu.Solve(f)
-	out := append([]float64(nil), v0...)
+	w.lu.SolveInto(w.dv, f)
+	dv := w.dv
+	out := append(w.trial[:0], v0...)
 	for i := range out {
 		step := dv[i]
 		if step > opt.MaxStep {
@@ -168,11 +208,19 @@ func Step(p Problem, v0 []float64, opt Options) ([]float64, error) {
 
 func newton(ctx context.Context, p Problem, v0 []float64, gmin float64, opt Options) (*Result, error) {
 	n := p.N()
-	v := append([]float64(nil), v0...)
-	f := make([]float64, n)
-	j := linalg.NewMatrix(n, n)
-	trial := make([]float64, n)
-	ftrial := make([]float64, n)
+	w := opt.Work
+	if w == nil {
+		w = new(Workspace)
+	}
+	w.size(n)
+	// v0 may alias w.v (Solve's continuation loop feeds each stage's
+	// result back in); the append is then an identity copy with no
+	// growth, so the self-alias is harmless.
+	v := append(w.v[:0], v0...)
+	f := w.f
+	j := &w.j
+	trial := w.trial
+	ftrial := w.ftrial
 
 	if err := p.Residual(v, f); err != nil {
 		return nil, fmt.Errorf("dcsolve: %w", err)
@@ -202,15 +250,15 @@ func newton(ctx context.Context, p Problem, v0 []float64, gmin float64, opt Opti
 		for i := 0; i < n; i++ {
 			j.Add(i, i, gmin)
 		}
-		lu, err := linalg.FactorLU(j)
-		if err != nil {
+		if err := w.lu.Factor(j); err != nil {
 			return nil, fmt.Errorf("dcsolve: singular Jacobian: %w", err)
 		}
 		// Residual including the gmin load.
 		for i := 0; i < n; i++ {
 			f[i] += gmin * v[i]
 		}
-		dv := lu.Solve(f)
+		w.lu.SolveInto(w.dv, f)
+		dv := w.dv
 
 		// Voltage-step limiting.
 		maxdv := linalg.VecNormInf(dv)

@@ -52,6 +52,18 @@ type Env interface {
 	Call(fn string, args []Arg) (float64, error)
 }
 
+// ArgAllocator is an optional Env extension. An env that implements it
+// supplies the argument buffers for Call.Eval instead of a fresh
+// allocation per call, which matters on hot evaluation paths that run
+// the same expressions millions of times. ArgBuf must return a length-n
+// slice that stays valid until the env's top-level evaluation finishes
+// (calls nest, so a bump arena reset per top-level Eval is the usual
+// implementation; expression trees are shared between goroutines, so the
+// buffer must live in the env, not the AST).
+type ArgAllocator interface {
+	ArgBuf(n int) []Arg
+}
+
 // ---------------------------------------------------------------------------
 // AST node types
 
@@ -85,7 +97,12 @@ type Call struct {
 // Eval evaluates the arguments (passing bare identifiers by name as well
 // as by value) and dispatches to env.Call.
 func (c *Call) Eval(env Env) (float64, error) {
-	args := make([]Arg, len(c.Args))
+	var args []Arg
+	if aa, ok := env.(ArgAllocator); ok {
+		args = aa.ArgBuf(len(c.Args))
+	} else {
+		args = make([]Arg, len(c.Args))
+	}
 	for i, a := range c.Args {
 		if v, ok := a.(*Var); ok {
 			val, resolved := env.Var(v.Name)

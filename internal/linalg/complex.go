@@ -47,11 +47,27 @@ type CLU struct {
 
 // FactorCLU factors the square complex matrix a; a is not modified.
 func FactorCLU(a *CMatrix) (*CLU, error) {
+	f := new(CLU)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factor recomputes the factorization of a in place, reusing the
+// receiver's storage (see LU.Factor).
+func (f *CLU) Factor(a *CMatrix) error {
 	if a.Rows != a.Cols {
-		panic("linalg: FactorCLU requires a square matrix")
+		panic("linalg: CLU.Factor requires a square matrix")
 	}
 	n := a.Rows
-	f := &CLU{n: n, lu: make([]complex128, n*n), pivot: make([]int, n)}
+	f.n = n
+	if cap(f.lu) < n*n {
+		f.lu = make([]complex128, n*n)
+		f.pivot = make([]int, n)
+	}
+	f.lu = f.lu[:n*n]
+	f.pivot = f.pivot[:n]
 	copy(f.lu, a.Data)
 
 	for k := 0; k < n; k++ {
@@ -62,7 +78,7 @@ func FactorCLU(a *CMatrix) (*CLU, error) {
 			}
 		}
 		if big < 1e-300 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk := f.lu[k*n : k*n+n]
@@ -86,7 +102,7 @@ func FactorCLU(a *CMatrix) (*CLU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b; the result is freshly allocated.
@@ -98,6 +114,16 @@ func (f *CLU) Solve(b []complex128) []complex128 {
 	copy(x, b)
 	f.SolveInPlace(x)
 	return x
+}
+
+// SolveInto solves A·x = b writing x into dst without allocating; dst
+// may alias b.
+func (f *CLU) SolveInto(dst, b []complex128) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("linalg: CLU.SolveInto dimension mismatch")
+	}
+	copy(dst, b)
+	f.SolveInPlace(dst)
 }
 
 // SolveInPlace solves A·x = b overwriting b with x.
@@ -138,6 +164,22 @@ func (f *CLU) SolveInPlace(b []complex128) {
 // Leading zero coefficients are trimmed. It returns an error when the
 // iteration fails to converge.
 func PolyRoots(c []complex128) ([]complex128, error) {
+	var rf RootFinder
+	return rf.Roots(c)
+}
+
+// RootFinder is a reusable-storage polynomial root finder. The zero
+// value is ready to use; after the first call, Roots allocates nothing
+// for polynomials of the same or smaller degree.
+type RootFinder struct {
+	coef  []complex128
+	roots []complex128
+}
+
+// Roots behaves exactly like PolyRoots but reuses the receiver's
+// buffers. The returned slice aliases the finder's storage and is only
+// valid until the next Roots call.
+func (rf *RootFinder) Roots(c []complex128) ([]complex128, error) {
 	// Trim leading (highest-degree) zeros.
 	deg := len(c) - 1
 	for deg > 0 && c[deg] == 0 {
@@ -147,7 +189,11 @@ func PolyRoots(c []complex128) ([]complex128, error) {
 		return nil, fmt.Errorf("linalg: PolyRoots degree %d polynomial has no roots", deg)
 	}
 	// Normalize to monic to improve conditioning.
-	coef := make([]complex128, deg+1)
+	if cap(rf.coef) < deg+1 {
+		rf.coef = make([]complex128, deg+1)
+		rf.roots = make([]complex128, deg)
+	}
+	coef := rf.coef[:deg+1]
 	lead := c[deg]
 	for i := 0; i <= deg; i++ {
 		coef[i] = c[i] / lead
@@ -162,7 +208,7 @@ func PolyRoots(c []complex128) ([]complex128, error) {
 		}
 	}
 	radius = 1 + radius
-	roots := make([]complex128, deg)
+	roots := rf.roots[:deg]
 	for i := range roots {
 		theta := 2*math.Pi*float64(i)/float64(deg) + 0.4
 		roots[i] = cmplx.Rect(radius*0.7, theta)
@@ -179,7 +225,7 @@ func PolyRoots(c []complex128) ([]complex128, error) {
 
 	const maxIter = 500
 	for iter := 0; iter < maxIter; iter++ {
-		maxStep := 0.0
+		maxStep2 := 0.0
 		for i := range roots {
 			num := eval(roots[i])
 			den := complex128(1)
@@ -193,23 +239,41 @@ func PolyRoots(c []complex128) ([]complex128, error) {
 				roots[i] += complex(1e-8, 1e-8)
 				continue
 			}
-			step := num / den
+			// Inline num/den: the naive quotient avoids the runtime's
+			// scaled complex division on this innermost path; fall back
+			// to it when the intermediate products leave float64 range.
+			d2 := abs2(den)
+			sr := (real(num)*real(den) + imag(num)*imag(den)) / d2
+			si := (imag(num)*real(den) - real(num)*imag(den)) / d2
+			if math.IsNaN(sr) || math.IsInf(sr, 0) || math.IsNaN(si) || math.IsInf(si, 0) {
+				q := num / den
+				sr, si = real(q), imag(q)
+			}
+			step := complex(sr, si)
 			roots[i] -= step
-			if a := cmplx.Abs(step); a > maxStep {
-				maxStep = a
+			if a := abs2(step); a > maxStep2 {
+				maxStep2 = a
 			}
 		}
-		scale := 1.0
+		scale2 := 1.0
 		for _, r := range roots {
-			if a := cmplx.Abs(r); a > scale {
-				scale = a
+			if a := abs2(r); a > scale2 {
+				scale2 = a
 			}
 		}
-		if maxStep < 1e-13*scale {
+		// maxStep < 1e-13·scale, compared on squared magnitudes.
+		if maxStep2 < 1e-26*scale2 {
 			return roots, nil
 		}
 	}
 	return roots, fmt.Errorf("linalg: PolyRoots failed to converge for degree %d", deg)
+}
+
+// abs2 is |x|² without the square root (and without Hypot's
+// over/underflow guards, which the convergence tests don't need).
+func abs2(x complex128) float64 {
+	re, im := real(x), imag(x)
+	return re*re + im*im
 }
 
 // PolyEval evaluates the polynomial c[0] + c[1]x + … at x.

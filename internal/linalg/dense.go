@@ -109,21 +109,45 @@ type LU struct {
 	lu    []float64 // packed L\U factors, row-major
 	pivot []int     // row permutation
 	sign  float64   // determinant sign from row swaps
+	scale []float64 // equilibration scratch, reused across Factor calls
 }
 
 // FactorLU computes the LU factorization of the square matrix a. The
 // input matrix is not modified. It returns ErrSingular when a pivot
 // underflows a scaled tolerance.
 func FactorLU(a *Matrix) (*LU, error) {
+	f := new(LU)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factor recomputes the factorization of a in place, reusing the
+// receiver's factor, pivot, and scaling storage. This is the
+// reusable-workspace entry point for hot evaluation loops: after the
+// first call no further allocation occurs for matrices of the same (or
+// smaller) size. On error the receiver's previous factorization is
+// invalid.
+func (f *LU) Factor(a *Matrix) error {
 	if a.Rows != a.Cols {
-		panic("linalg: FactorLU requires a square matrix")
+		panic("linalg: LU.Factor requires a square matrix")
 	}
 	n := a.Rows
-	f := &LU{n: n, lu: make([]float64, n*n), pivot: make([]int, n), sign: 1}
+	f.n = n
+	if cap(f.lu) < n*n {
+		f.lu = make([]float64, n*n)
+		f.pivot = make([]int, n)
+		f.scale = make([]float64, n)
+	}
+	f.lu = f.lu[:n*n]
+	f.pivot = f.pivot[:n]
+	f.scale = f.scale[:n]
+	f.sign = 1
 	copy(f.lu, a.Data)
 
 	// Row scaling factors for implicit equilibration in pivot choice.
-	scale := make([]float64, n)
+	scale := f.scale
 	for i := 0; i < n; i++ {
 		big := 0.0
 		for j := 0; j < n; j++ {
@@ -132,7 +156,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if big == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		scale[i] = 1 / big
 	}
@@ -158,7 +182,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 		f.pivot[k] = p
 		piv := f.lu[k*n+k]
 		if math.Abs(piv) < 1e-300 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		inv := 1 / piv
 		for i := k + 1; i < n; i++ {
@@ -174,7 +198,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b using the factorization, overwriting nothing; the
@@ -187,6 +211,16 @@ func (f *LU) Solve(b []float64) []float64 {
 	copy(x, b)
 	f.SolveInPlace(x)
 	return x
+}
+
+// SolveInto solves A·x = b writing x into dst without allocating. dst
+// and b must both have length n; dst may alias b.
+func (f *LU) SolveInto(dst, b []float64) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("linalg: LU.SolveInto dimension mismatch")
+	}
+	copy(dst, b)
+	f.SolveInPlace(dst)
 }
 
 // SolveInPlace solves A·x = b with b overwritten by x. This is the hot

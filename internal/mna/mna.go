@@ -60,26 +60,16 @@ func Build(nl *circuit.Netlist, env expr.Env) (*System, error) {
 	s.G = linalg.NewMatrix(s.Size, s.Size)
 	s.C = linalg.NewMatrix(s.Size, s.Size)
 
-	idx := func(node string) (int, error) {
-		i, ok := nl.NodeIndex(node)
-		if !ok {
-			return 0, fmt.Errorf("mna: unknown node %q", node)
-		}
-		return i, nil
-	}
-	// add stamps v into m[i][j], skipping ground rows/cols (index -1).
-	add := func(m *linalg.Matrix, i, j int, v float64) {
-		if i >= 0 && j >= 0 {
-			m.Add(i, j, v)
-		}
-	}
-
+	st := Stamper{G: s.G, C: s.C}
 	for _, e := range nl.Elements {
 		var n [4]int
 		for k, nd := range e.Nodes {
-			i, err := idx(nd)
-			if err != nil {
-				return nil, fmt.Errorf("%v (element %s)", err, e.Name)
+			// BuildIndex covered every element node, so a miss can only
+			// mean the caller handed us a stale index for a mutated
+			// netlist — a programming error, not a deck error.
+			i, ok := nl.NodeIndex(nd)
+			if !ok {
+				panic(fmt.Sprintf("mna: node %q of element %s missing from netlist index", nd, e.Name))
 			}
 			n[k] = i
 		}
@@ -92,41 +82,25 @@ func Build(nl *circuit.Netlist, env expr.Env) (*System, error) {
 			if r == 0 {
 				return nil, fmt.Errorf("mna: resistor %s has zero resistance", e.Name)
 			}
-			g := 1 / r
-			add(s.G, n[0], n[0], g)
-			add(s.G, n[1], n[1], g)
-			add(s.G, n[0], n[1], -g)
-			add(s.G, n[1], n[0], -g)
+			st.Resistor(n[0], n[1], 1/r)
 
 		case circuit.KindC:
 			c, err := e.EvalValue(env)
 			if err != nil {
 				return nil, err
 			}
-			add(s.C, n[0], n[0], c)
-			add(s.C, n[1], n[1], c)
-			add(s.C, n[0], n[1], -c)
-			add(s.C, n[1], n[0], -c)
+			st.Capacitor(n[0], n[1], c)
 
 		case circuit.KindL:
 			l, err := e.EvalValue(env)
 			if err != nil {
 				return nil, err
 			}
-			br := s.branches[e.Name]
-			add(s.G, n[0], br, 1)
-			add(s.G, n[1], br, -1)
-			add(s.G, br, n[0], 1)
-			add(s.G, br, n[1], -1)
-			s.C.Add(br, br, -l)
+			st.Inductor(n[0], n[1], s.branches[e.Name], l)
 
 		case circuit.KindV:
-			br := s.branches[e.Name]
-			add(s.G, n[0], br, 1)
-			add(s.G, n[1], br, -1)
-			add(s.G, br, n[0], 1)
-			add(s.G, br, n[1], -1)
 			// RHS contribution handled by InputVector.
+			st.VSource(n[0], n[1], s.branches[e.Name])
 
 		case circuit.KindI:
 			// RHS contribution handled by InputVector.
@@ -136,23 +110,14 @@ func Build(nl *circuit.Netlist, env expr.Env) (*System, error) {
 			if err != nil {
 				return nil, err
 			}
-			add(s.G, n[0], n[2], gm)
-			add(s.G, n[0], n[3], -gm)
-			add(s.G, n[1], n[2], -gm)
-			add(s.G, n[1], n[3], gm)
+			st.VCCS(n[0], n[1], n[2], n[3], gm)
 
 		case circuit.KindE: // VCVS: v(a)-v(b) = A (v(c+)-v(c-))
 			a, err := e.EvalValue(env)
 			if err != nil {
 				return nil, err
 			}
-			br := s.branches[e.Name]
-			add(s.G, n[0], br, 1)
-			add(s.G, n[1], br, -1)
-			add(s.G, br, n[0], 1)
-			add(s.G, br, n[1], -1)
-			add(s.G, br, n[2], -a)
-			add(s.G, br, n[3], a)
+			st.VCVS(n[0], n[1], n[2], n[3], s.branches[e.Name], a)
 
 		case circuit.KindF: // CCCS: i = F · i(ctrl V source)
 			f, err := e.EvalValue(env)
@@ -163,8 +128,7 @@ func Build(nl *circuit.Netlist, env expr.Env) (*System, error) {
 			if !ok {
 				return nil, fmt.Errorf("mna: element %s controls by unknown source %q", e.Name, e.CtrlName)
 			}
-			add(s.G, n[0], cb, f)
-			add(s.G, n[1], cb, -f)
+			st.CCCS(n[0], n[1], cb, f)
 
 		case circuit.KindH: // CCVS: v(a)-v(b) = H · i(ctrl V source)
 			h, err := e.EvalValue(env)
@@ -175,12 +139,7 @@ func Build(nl *circuit.Netlist, env expr.Env) (*System, error) {
 			if !ok {
 				return nil, fmt.Errorf("mna: element %s controls by unknown source %q", e.Name, e.CtrlName)
 			}
-			br := s.branches[e.Name]
-			add(s.G, n[0], br, 1)
-			add(s.G, n[1], br, -1)
-			add(s.G, br, n[0], 1)
-			add(s.G, br, n[1], -1)
-			s.G.Add(br, cb, -h)
+			st.CCVS(n[0], n[1], s.branches[e.Name], cb, h)
 		}
 	}
 	return s, nil

@@ -1,0 +1,88 @@
+package mna
+
+import "astrx/internal/linalg"
+
+// Stamper writes element stamps into a caller-owned (G, C) matrix pair
+// addressed by resolved unknown indices (node voltage rows first, then
+// branch-current rows); ground is index -1 and its rows/columns are
+// skipped. Build uses it with freshly allocated matrices; the ASTRX
+// compiled-plan evaluator replays precompiled stamp programs through the
+// same methods into reused matrices, so both paths perform the identical
+// sequence of additions and agree bit-for-bit.
+type Stamper struct {
+	G, C *linalg.Matrix
+}
+
+// add stamps v into m[i][j], skipping ground rows/cols (index -1).
+func (st Stamper) add(m *linalg.Matrix, i, j int, v float64) {
+	if i >= 0 && j >= 0 {
+		m.Add(i, j, v)
+	}
+}
+
+// Resistor stamps a conductance g between nodes a and b.
+func (st Stamper) Resistor(a, b int, g float64) {
+	st.add(st.G, a, a, g)
+	st.add(st.G, b, b, g)
+	st.add(st.G, a, b, -g)
+	st.add(st.G, b, a, -g)
+}
+
+// Capacitor stamps a capacitance c between nodes a and b.
+func (st Stamper) Capacitor(a, b int, c float64) {
+	st.add(st.C, a, a, c)
+	st.add(st.C, b, b, c)
+	st.add(st.C, a, b, -c)
+	st.add(st.C, b, a, -c)
+}
+
+// Inductor stamps an inductance l between a and b with branch row br.
+func (st Stamper) Inductor(a, b, br int, l float64) {
+	st.add(st.G, a, br, 1)
+	st.add(st.G, b, br, -1)
+	st.add(st.G, br, a, 1)
+	st.add(st.G, br, b, -1)
+	st.C.Add(br, br, -l)
+}
+
+// VSource stamps an independent voltage source between a and b with
+// branch row br; the RHS contribution is the caller's concern.
+func (st Stamper) VSource(a, b, br int) {
+	st.add(st.G, a, br, 1)
+	st.add(st.G, b, br, -1)
+	st.add(st.G, br, a, 1)
+	st.add(st.G, br, b, -1)
+}
+
+// VCCS stamps i(p→q) = gm·(v(cp) - v(cq)).
+func (st Stamper) VCCS(p, q, cp, cq int, gm float64) {
+	st.add(st.G, p, cp, gm)
+	st.add(st.G, p, cq, -gm)
+	st.add(st.G, q, cp, -gm)
+	st.add(st.G, q, cq, gm)
+}
+
+// VCVS stamps v(a)-v(b) = gain·(v(cp)-v(cq)) with branch row br.
+func (st Stamper) VCVS(a, b, cp, cq, br int, gain float64) {
+	st.add(st.G, a, br, 1)
+	st.add(st.G, b, br, -1)
+	st.add(st.G, br, a, 1)
+	st.add(st.G, br, b, -1)
+	st.add(st.G, br, cp, -gain)
+	st.add(st.G, br, cq, gain)
+}
+
+// CCCS stamps i(p→q) = f·i(ctrl branch cb).
+func (st Stamper) CCCS(p, q, cb int, f float64) {
+	st.add(st.G, p, cb, f)
+	st.add(st.G, q, cb, -f)
+}
+
+// CCVS stamps v(a)-v(b) = h·i(ctrl branch cb) with branch row br.
+func (st Stamper) CCVS(a, b, br, cb int, h float64) {
+	st.add(st.G, a, br, 1)
+	st.add(st.G, b, br, -1)
+	st.add(st.G, br, a, 1)
+	st.add(st.G, br, b, -1)
+	st.G.Add(br, cb, -h)
+}

@@ -439,6 +439,14 @@ func polishDC(ctx context.Context, c *astrx.Compiled, inj *faults.Injector, x []
 // current design variables. A Newton failure (real or injected) simply
 // declines the proposal — the annealer falls back to its other classes.
 func newtonMove(ctx context.Context, c *astrx.Compiled, inj *faults.Injector, label string, iters int) anneal.Move {
+	// The move closure owns its solver scratch: steady-state annealing
+	// performs one solve per proposal, and the workspace makes the whole
+	// proposal allocation-free. Moves run one at a time on the annealer
+	// goroutine, so the capture is safe.
+	var (
+		work dcsolve.Workspace
+		vbuf []float64
+	)
 	return &anneal.FuncMove{
 		Label: label,
 		Fn: func(cur, next []float64, rng *rand.Rand) bool {
@@ -447,9 +455,10 @@ func newtonMove(ctx context.Context, c *astrx.Compiled, inj *faults.Injector, la
 			if n == 0 {
 				return false
 			}
-			v := append([]float64(nil), cur[c.NUser:]...)
+			vbuf = append(vbuf[:0], cur[c.NUser:]...)
+			v := vbuf
 			if iters <= 1 {
-				stepped, err := dcsolve.Step(dp, v, dcsolve.Options{FailHook: inj.NewtonHook()})
+				stepped, err := dcsolve.Step(dp, v, dcsolve.Options{FailHook: inj.NewtonHook(), Work: &work})
 				if err != nil {
 					return false
 				}
@@ -457,7 +466,7 @@ func newtonMove(ctx context.Context, c *astrx.Compiled, inj *faults.Injector, la
 				return true
 			}
 			r, _ := dcsolve.Solve(ctx, dp, v, dcsolve.Options{
-				MaxIter: iters, BestEffort: true, FailHook: inj.NewtonHook(),
+				MaxIter: iters, BestEffort: true, FailHook: inj.NewtonHook(), Work: &work,
 			})
 			if r == nil {
 				return false

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 )
@@ -45,6 +46,7 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 //	GET    /v1/jobs/{id}/result final design + verification numbers (409 until terminal)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /debug/metrics       Prometheus text exposition
+//	GET    /debug/pprof/        runtime profiles (only with Options.EnableProfiling)
 //	GET    /healthz             200 ok / 503 draining
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -55,6 +57,16 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
 	mux.Handle("GET /debug/metrics", m.reg.Handler())
+	if m.opt.EnableProfiling {
+		// The pprof handlers register themselves on http.DefaultServeMux
+		// at import; mount them on this mux explicitly instead so the
+		// endpoints exist only when profiling was asked for.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if m.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)

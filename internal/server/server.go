@@ -274,6 +274,12 @@ type Options struct {
 	// MaxMovesLimit rejects jobs asking for more than this move budget
 	// (0 → no limit) — an admission-control guard for shared daemons.
 	MaxMovesLimit int
+	// EnableProfiling mounts net/http/pprof under /debug/pprof/ on the
+	// Handler. Off by default: the profile endpoints expose internal
+	// state (goroutine stacks, heap contents) and cost CPU while
+	// sampling, so they are opt-in for diagnosis sessions only. See
+	// docs/profiling.md.
+	EnableProfiling bool
 	// Logf receives operational log lines (nil → discarded).
 	Logf func(format string, args ...any)
 }

@@ -458,3 +458,39 @@ func TestDrainingRejectsSubmissions(t *testing.T) {
 		t.Errorf("healthz while draining: status %d, want 503", resp2.StatusCode)
 	}
 }
+
+// TestProfilingEndpointGated checks that /debug/pprof/ exists only when
+// Options.EnableProfiling is set — the profile endpoints leak internal
+// state and must stay off by default.
+func TestProfilingEndpointGated(t *testing.T) {
+	get := func(ts *httptest.Server, path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	off := newTestManager(t, Options{})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	if code := get(tsOff, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof index with profiling off: status %d, want 404", code)
+	}
+
+	on := newTestManager(t, Options{EnableProfiling: true})
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	if code := get(tsOn, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index with profiling on: status %d, want 200", code)
+	}
+	if code := get(tsOn, "/debug/pprof/heap"); code != http.StatusOK {
+		t.Errorf("pprof heap with profiling on: status %d, want 200", code)
+	}
+	// Metrics stay available in both configurations.
+	if code := get(tsOff, "/debug/metrics"); code != http.StatusOK {
+		t.Errorf("metrics with profiling off: status %d, want 200", code)
+	}
+}
