@@ -2,15 +2,18 @@
 # suite + race detector on the concurrency-bearing packages.
 
 GO ?= go
+STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: ci vet build test race bench-json bench-check
+.PHONY: ci vet build test race chaos lint bench-json bench-check
 
-# bench-check is advisory in ci (benchmark timings on shared CI hardware
-# are too noisy to gate merges on); run it locally before perf-sensitive
-# changes and regenerate the baseline with bench-json when a speedup or
-# an accepted regression lands.
+# bench-check and lint are advisory in ci (benchmark timings on shared
+# CI hardware are too noisy to gate merges on, and the lint tools need
+# network access to download on first run); run them locally before
+# perf-sensitive changes and regenerate the baseline with bench-json
+# when a speedup or an accepted regression lands.
 ci: vet build test race
 	-$(MAKE) bench-check
+	-$(MAKE) lint
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +26,22 @@ test:
 
 race:
 	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/metrics
+
+# chaos runs the fault-injection suites under the race detector: durable
+# envelope/atomic-write tests, the injector itself, retry/backoff, and
+# the oblxd restart-under-faults tests that assert no job is ever lost
+# or double-completed. Slower than `make race`; run before touching the
+# persistence or supervision layers.
+chaos:
+	$(GO) test -race -count=1 ./internal/durable ./internal/faults ./internal/retry ./internal/server
+
+# lint is advisory: staticcheck and govulncheck run via `go run`, which
+# downloads them on first use. In an offline or hermetic environment the
+# download fails and the `-` prefix keeps ci green; the tools still gate
+# in any networked dev loop.
+lint:
+	-$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	-$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # bench-json runs the Table 2 cost-evaluation benchmarks and records
 # ns/eval + evals/sec + allocs/eval per benchmark deck in

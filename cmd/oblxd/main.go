@@ -41,40 +41,75 @@ func main() {
 		movesLimit = flag.Int("max-moves-limit", 0, "reject jobs asking for more moves than this (0: no limit)")
 		drainGrace = flag.Duration("drain-grace", 60*time.Second, "how long shutdown waits for jobs to checkpoint")
 		pprofOn    = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/ (see docs/profiling.md)")
+
+		maxQueue    = flag.Int("max-queue", 0, "bound on jobs waiting for a worker; submissions beyond it get 429 (0: unbounded)")
+		stallTO     = flag.Duration("stall-timeout", 0, "kill and requeue a running job with no progress tick for this long (0: supervision off)")
+		maxAttempts = flag.Int("max-attempts", 0, "supervised attempts before a stalling job is poisoned (0: default 3)")
+		jobDeadline = flag.Duration("job-deadline", 0, "per-job wall-clock limit; exceeding it fails the job (0: no limit)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *stateDir, *workers, *ckptEvery, *progEvery, *movesLimit, *drainGrace, *pprofOn); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, stateDir: *stateDir, workers: *workers,
+		ckptEvery: *ckptEvery, progEvery: *progEvery, movesLimit: *movesLimit,
+		drainGrace: *drainGrace, pprofOn: *pprofOn,
+		maxQueue: *maxQueue, stallTimeout: *stallTO,
+		maxAttempts: *maxAttempts, jobDeadline: *jobDeadline,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oblxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, drainGrace time.Duration, pprofOn bool) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (got %d)", workers)
+// daemonConfig carries the parsed flags into run.
+type daemonConfig struct {
+	addr, stateDir        string
+	workers               int
+	ckptEvery, progEvery  int
+	movesLimit            int
+	drainGrace            time.Duration
+	pprofOn               bool
+	maxQueue, maxAttempts int
+	stallTimeout          time.Duration
+	jobDeadline           time.Duration
+}
+
+func run(cfg daemonConfig) error {
+	if cfg.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", cfg.workers)
 	}
-	if ckptEvery < 0 {
-		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", ckptEvery)
+	if cfg.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", cfg.ckptEvery)
+	}
+	if cfg.maxQueue < 0 || cfg.maxAttempts < 0 {
+		return fmt.Errorf("-max-queue and -max-attempts must be >= 0")
+	}
+	if cfg.stallTimeout < 0 || cfg.jobDeadline < 0 {
+		return fmt.Errorf("-stall-timeout and -job-deadline must be >= 0")
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	mgr, err := server.New(server.Options{
-		StateDir:        stateDir,
-		Workers:         workers,
-		CheckpointEvery: ckptEvery,
-		ProgressEvery:   progEvery,
-		MaxMovesLimit:   movesLimit,
-		EnableProfiling: pprofOn,
+		StateDir:        cfg.stateDir,
+		Workers:         cfg.workers,
+		CheckpointEvery: cfg.ckptEvery,
+		ProgressEvery:   cfg.progEvery,
+		MaxMovesLimit:   cfg.movesLimit,
+		EnableProfiling: cfg.pprofOn,
 		Registry:        metrics.New(),
 		Logf:            logger.Printf,
+		MaxQueue:        cfg.maxQueue,
+		StallTimeout:    cfg.stallTimeout,
+		MaxAttempts:     cfg.maxAttempts,
+		JobDeadline:     cfg.jobDeadline,
 	})
 	if err != nil {
 		return err
 	}
 
 	srv := &http.Server{
-		Addr:    addr,
+		Addr:    cfg.addr,
 		Handler: mgr.Handler(),
 		// Job streams are long-lived; only bound the read side.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -85,7 +120,7 @@ func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, d
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("oblxd: listening on %s (state-dir=%q)", addr, stateDir)
+		logger.Printf("oblxd: listening on %s (state-dir=%q)", cfg.addr, cfg.stateDir)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -97,8 +132,8 @@ func run(addr, stateDir string, workers, ckptEvery, progEvery, movesLimit int, d
 	case <-ctx.Done():
 	}
 
-	logger.Printf("oblxd: shutting down — draining jobs (grace %s)", drainGrace)
-	grace, cancel := context.WithTimeout(context.Background(), drainGrace)
+	logger.Printf("oblxd: shutting down — draining jobs (grace %s)", cfg.drainGrace)
+	grace, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
 	defer cancel()
 	// Drain the job manager first so in-flight anneals checkpoint; the
 	// HTTP server follows once event streams have terminated.

@@ -440,6 +440,9 @@ func (e *specEnv) Call(fn string, args []expr.Arg) (float64, error) {
 		if !ok {
 			return nil, fmt.Errorf("astrx: unknown transfer function %q", args[0].Name)
 		}
+		// Unstable models (awe.ErrUnstable) are measured anyway — the fit
+		// already preferred stable orders, and the workspace counter plus
+		// FailureStats.Unstable surface the event to operators.
 		return tf, nil
 	}
 	switch fn {

@@ -38,6 +38,10 @@ type EvalWorkspace struct {
 	specVals []float64
 	tfs      []awe.TF
 	err      error
+	// unstable counts transfer-function fits that produced a model with
+	// right-half-plane poles (see awe.ErrUnstable). The model is still
+	// measured; the count surfaces how often the fit degraded.
+	unstable int
 
 	jigs []jigWS
 	fit  awe.FitWorkspace
@@ -114,6 +118,14 @@ func (c *Compiled) Workspace() *EvalWorkspace {
 // Err returns the first fatal problem of the last evaluation (nil if it
 // completed).
 func (ws *EvalWorkspace) Err() error { return ws.err }
+
+// UnstableCount returns how many evaluations this workspace has rejected
+// for right-half-plane poles in the reduced model.
+func (ws *EvalWorkspace) UnstableCount() int { return ws.unstable }
+
+// SetUnstableCount restores the rejection counter when resuming from a
+// checkpoint.
+func (ws *EvalWorkspace) SetUnstableCount(n int) { ws.unstable = n }
 
 // resetArgs rewinds the call-argument arena; only legal between
 // top-level expression evaluations (calls nest within one).
@@ -486,6 +498,15 @@ func (ws *EvalWorkspace) evalJig(jp *jigPlan, jw *jigWS) error {
 		mu := jw.mu[:2*tp.q]
 		jw.eng.MomentsInto(mu, tp.b, tp.ip, tp.in)
 		ws.fit.FitMomentsInto(&ws.tfs[tp.tfIdx], mu, tp.q)
+		// An unstable winner means no stable order reproduced the moments
+		// (awe.ErrUnstable). The model is still measured — often the RHP
+		// pole is a Padé artifact at the edge of moment resolution, not a
+		// physically unstable circuit — but the event is counted so runs
+		// dominated by unstable fits are visible in FailureStats.Unstable
+		// and the daemon's oblxd_eval_unstable_total metric.
+		if tf := &ws.tfs[tp.tfIdx]; tf.Order > 0 && !tf.Stable() {
+			ws.unstable++
+		}
 	}
 	return nil
 }
@@ -664,6 +685,12 @@ func (e *wsSpecEnv) Call(fn string, args []expr.Arg) (float64, error) {
 		if !ok {
 			return nil, fmt.Errorf("astrx: unknown transfer function %q", args[0].Name)
 		}
+		// An unstable model (see awe.ErrUnstable) is still measured: the
+		// fitter already preferred any stable order that reproduced the
+		// moments, so this is the best available model. The fit site
+		// counted the event; FailureStats.Unstable and the daemon's
+		// oblxd_eval_unstable_total metric tell operators how much to
+		// trust the numbers.
 		return &ws.tfs[i], nil
 	}
 	switch fn {

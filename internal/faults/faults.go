@@ -21,9 +21,9 @@ type Kind int
 
 // The injectable fault classes.
 const (
-	EvalPanic Kind = iota // evaluator panics mid-evaluation
-	NaNCost               // evaluator returns a NaN cost
-	NewtonFail            // Newton solver reports non-convergence
+	EvalPanic  Kind = iota // evaluator panics mid-evaluation
+	NaNCost                // evaluator returns a NaN cost
+	NewtonFail             // Newton solver reports non-convergence
 	nKinds
 )
 
@@ -36,6 +36,9 @@ func (k Kind) String() string {
 		return "nan-cost"
 	case NewtonFail:
 		return "newton-fail"
+	}
+	if name, ok := fsKindNames[k]; ok {
+		return name
 	}
 	return fmt.Sprintf("faults.Kind(%d)", int(k))
 }
@@ -63,10 +66,12 @@ type Rates struct {
 // Injector is a seeded, thread-safe fault source. The zero value and
 // the nil pointer are both inert.
 type Injector struct {
-	mu     sync.Mutex
-	state  uint64
-	rates  Rates
-	counts [nKinds]int64
+	mu    sync.Mutex
+	state uint64
+	rates Rates
+	// counts covers both the evaluation kinds above and the filesystem
+	// kinds of fs.go (which continue the same enumeration).
+	counts [nFSKinds]int64
 }
 
 // New builds an injector with the given seed and rates.

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"syscall"
+
+	"astrx/internal/durable"
+)
+
+// The injectable filesystem fault classes, continuing the Kind
+// enumeration in faults.go. They model the ways persisted state is torn
+// apart in the field: a write that errors outright, a write that lands
+// short and claims success, an fsync that returns EIO, a rename that
+// leaves a truncated destination behind, and a full disk.
+const (
+	FSWriteErr   Kind = nKinds + iota // File.Write fails with EIO
+	FSShortWrite                      // File.Write persists a prefix, reports success
+	FSFsyncErr                        // File.Sync fails with EIO
+	FSRenameTorn                      // Rename leaves a truncated destination
+	FSNoSpace                         // File.Write fails with ENOSPC
+	nFSKinds
+)
+
+// fsKindNames names the filesystem fault kinds for Kind.String.
+var fsKindNames = map[Kind]string{
+	FSWriteErr:   "fs-write-err",
+	FSShortWrite: "fs-short-write",
+	FSFsyncErr:   "fs-fsync-eio",
+	FSRenameTorn: "fs-rename-torn",
+	FSNoSpace:    "fs-enospc",
+}
+
+// FSRates configures per-operation filesystem fault probabilities.
+type FSRates struct {
+	WriteErr   float64
+	ShortWrite float64
+	FsyncErr   float64
+	RenameTorn float64
+	NoSpace    float64
+}
+
+// FS wraps a durable.FS with this injector's filesystem faults. The
+// returned filesystem is what chaos tests hand to the synthesis
+// service's persistence layer; a nil injector returns under unchanged.
+//
+// Rename torn-write simulation needs to materialize a truncated
+// destination, which it does with under's own WriteFile — so the
+// wrapper composes over any durable.FS, not just the real one.
+func (in *Injector) FS(under durable.FS, rates FSRates) durable.FS {
+	if under == nil {
+		under = durable.OS
+	}
+	if in == nil {
+		return under
+	}
+	return &faultFS{in: in, under: under, rates: rates}
+}
+
+type faultFS struct {
+	in    *Injector
+	under durable.FS
+	rates FSRates
+}
+
+func (f *faultFS) injected(k Kind) error {
+	return &Injected{K: k, N: f.in.Count(k)}
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (durable.File, error) {
+	file, err := f.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, under: file}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.in.roll(FSRenameTorn, f.rates.RenameTorn) {
+		// Crash-equivalent torn rename: the destination ends up with a
+		// truncated copy of the new content, the source is gone, and the
+		// caller sees a failure. Recovery fsck must catch this file by
+		// its checksum, not by its name.
+		if data, rerr := f.under.ReadFile(oldpath); rerr == nil {
+			f.under.WriteFile(newpath, data[:len(data)/2], 0o644)
+		}
+		f.under.Remove(oldpath)
+		return fmt.Errorf("rename %s: %w", newpath, f.injected(FSRenameTorn))
+	}
+	return f.under.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error             { return f.under.Remove(name) }
+func (f *faultFS) ReadFile(name string) ([]byte, error) { return f.under.ReadFile(name) }
+
+func (f *faultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if f.in.roll(FSNoSpace, f.rates.NoSpace) {
+		return fmt.Errorf("write %s: %w: %w", name, f.injected(FSNoSpace), syscall.ENOSPC)
+	}
+	if f.in.roll(FSWriteErr, f.rates.WriteErr) {
+		return fmt.Errorf("write %s: %w: %w", name, f.injected(FSWriteErr), syscall.EIO)
+	}
+	return f.under.WriteFile(name, data, perm)
+}
+
+func (f *faultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.under.ReadDir(name) }
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.under.MkdirAll(path, perm)
+}
+func (f *faultFS) SyncDir(dir string) error { return f.under.SyncDir(dir) }
+
+// faultFile injects write- and sync-level faults on one open file.
+type faultFile struct {
+	fs    *faultFS
+	under durable.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	switch {
+	case f.fs.in.roll(FSNoSpace, f.fs.rates.NoSpace):
+		return 0, fmt.Errorf("%w: %w", f.fs.injected(FSNoSpace), syscall.ENOSPC)
+	case f.fs.in.roll(FSWriteErr, f.fs.rates.WriteErr):
+		return 0, fmt.Errorf("%w: %w", f.fs.injected(FSWriteErr), syscall.EIO)
+	case f.fs.in.roll(FSShortWrite, f.fs.rates.ShortWrite) && len(p) > 1:
+		// The nastiest variant: half the bytes land but the call claims
+		// every byte did, like a page-cache write the crash never
+		// flushed. The in-flight writer cannot detect it; only the
+		// recovery fsck's checksum can.
+		if _, err := f.under.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return f.under.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.in.roll(FSFsyncErr, f.fs.rates.FsyncErr) {
+		return fmt.Errorf("%w: %w", f.fs.injected(FSFsyncErr), syscall.EIO)
+	}
+	return f.under.Sync()
+}
+
+func (f *faultFile) Close() error { return f.under.Close() }
+func (f *faultFile) Name() string { return f.under.Name() }

@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"astrx/internal/durable"
+)
+
+func TestFSNilInjectorIsTransparent(t *testing.T) {
+	var in *Injector
+	if got := in.FS(durable.OS, FSRates{WriteErr: 1}); got != durable.OS {
+		t.Fatal("nil injector must return the underlying FS unchanged")
+	}
+	if got := in.FS(nil, FSRates{}); got != durable.OS {
+		t.Fatal("nil under must default to durable.OS")
+	}
+}
+
+func TestFSWriteFaultsSurfaceThroughAtomicWrite(t *testing.T) {
+	cases := []struct {
+		name  string
+		rates FSRates
+		kind  Kind
+		errno error
+	}{
+		{"enospc", FSRates{NoSpace: 1}, FSNoSpace, syscall.ENOSPC},
+		{"eio", FSRates{WriteErr: 1}, FSWriteErr, syscall.EIO},
+		{"fsync-eio", FSRates{FsyncErr: 1}, FSFsyncErr, syscall.EIO},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := New(1, Rates{})
+			fsys := in.FS(durable.OS, tc.rates)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "job-x.json")
+			err := durable.WriteSealedAtomic(fsys, path, []byte("payload"))
+			if err == nil {
+				t.Fatal("atomic write succeeded under a rate-1 fault")
+			}
+			var inj *Injected
+			if !errors.As(err, &inj) || inj.K != tc.kind {
+				t.Fatalf("err %v, want injected %s", err, tc.kind)
+			}
+			if tc.errno != nil && !errors.Is(err, tc.errno) {
+				t.Fatalf("err %v, want wrapped %v", err, tc.errno)
+			}
+			if in.Count(tc.kind) == 0 {
+				t.Fatalf("injector did not count %s", tc.kind)
+			}
+			// Failed atomic writes must not litter temp files or leave a
+			// destination behind.
+			entries, _ := os.ReadDir(dir)
+			if len(entries) != 0 {
+				t.Fatalf("dir has %d entries after failed write, want 0", len(entries))
+			}
+		})
+	}
+}
+
+func TestFSShortWriteClaimsSuccessButCorrupts(t *testing.T) {
+	in := New(7, Rates{})
+	fsys := in.FS(durable.OS, FSRates{ShortWrite: 1})
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	// The writer cannot see the fault: the write "succeeds".
+	if err := durable.WriteSealedAtomic(fsys, path, []byte(`{"version":1,"vars":[1,2,3]}`)); err != nil {
+		t.Fatalf("short write must claim success, got %v", err)
+	}
+	if in.Count(FSShortWrite) == 0 {
+		t.Fatal("short write not counted")
+	}
+	// But the checksum catches it at read time.
+	if _, err := durable.ReadSealed(durable.OS, path); !errors.Is(err, durable.ErrTruncated) && !errors.Is(err, durable.ErrChecksum) && !errors.Is(err, durable.ErrNotSealed) {
+		t.Fatalf("read of short-written file: err %v, want a corruption error", err)
+	}
+}
+
+func TestFSTornRenameLeavesCorruptDestination(t *testing.T) {
+	in := New(3, Rates{})
+	fsys := in.FS(durable.OS, FSRates{RenameTorn: 1})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job-y.json")
+	err := durable.WriteSealedAtomic(fsys, path, []byte(`{"id":"y","state":"queued"}`))
+	if err == nil {
+		t.Fatal("torn rename must report failure")
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.K != FSRenameTorn {
+		t.Fatalf("err %v, want injected %s", err, FSRenameTorn)
+	}
+	// The destination exists but fails envelope verification — exactly the
+	// on-disk state a recovery fsck must quarantine.
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("torn rename left no destination: %v", statErr)
+	}
+	if _, rerr := durable.ReadSealed(durable.OS, path); rerr == nil {
+		t.Fatal("torn destination passed envelope verification")
+	}
+}
+
+func TestFSDeterministicScheduleAndCounts(t *testing.T) {
+	run := func() (int64, int64) {
+		in := New(42, Rates{})
+		fsys := in.FS(durable.OS, FSRates{WriteErr: 0.3, FsyncErr: 0.3})
+		dir := t.TempDir()
+		for i := 0; i < 50; i++ {
+			durable.WriteSealedAtomic(fsys, filepath.Join(dir, "f.json"), []byte("x"))
+		}
+		return in.Count(FSWriteErr), in.Count(FSFsyncErr)
+	}
+	w1, s1 := run()
+	w2, s2 := run()
+	if w1 != w2 || s1 != s2 {
+		t.Fatalf("same seed produced different schedules: (%d,%d) vs (%d,%d)", w1, s1, w2, s2)
+	}
+	if w1 == 0 || s1 == 0 {
+		t.Fatalf("rate-0.3 over 50 writes injected nothing: writes=%d syncs=%d", w1, s1)
+	}
+	if total := New(0, Rates{}).Total(); total != 0 {
+		t.Fatalf("fresh injector Total() = %d", total)
+	}
+}
+
+func TestFSKindNames(t *testing.T) {
+	for k, want := range fsKindNames {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

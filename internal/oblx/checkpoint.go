@@ -3,11 +3,10 @@ package oblx
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"astrx/internal/anneal"
 	"astrx/internal/astrx"
+	"astrx/internal/durable"
 )
 
 // checkpointVersion guards the on-disk format; bump on incompatible
@@ -36,6 +35,7 @@ type Checkpoint struct {
 	NonFinite   int `json:"non_finite"`
 	Retries     int `json:"retries"`
 	Quarantined int `json:"quarantined"`
+	Unstable    int `json:"unstable,omitempty"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
@@ -54,41 +54,51 @@ func (ck *Checkpoint) check(nVars int) error {
 	return nil
 }
 
-// SaveCheckpoint atomically writes a checkpoint: the JSON is written to
-// a temp file in the same directory and renamed into place, so a crash
-// mid-write can never leave a truncated checkpoint behind.
+// SaveCheckpoint durably writes a checkpoint: the JSON is sealed in a
+// checksummed envelope and committed atomically (temp file, fsync,
+// rename, directory fsync), so neither a crash mid-write nor a torn
+// rename can leave a resumable-looking but corrupt checkpoint behind.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
+	return SaveCheckpointFS(nil, path, ck)
+}
+
+// SaveCheckpointFS is SaveCheckpoint through an explicit filesystem; a
+// nil fsys uses the real one. Fault-injection tests substitute a
+// fault-wrapped filesystem here.
+func SaveCheckpointFS(fsys durable.FS, path string, ck *Checkpoint) error {
 	data, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("oblx: marshal checkpoint: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("oblx: checkpoint: %w", err)
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmpName)
-		if werr == nil {
-			werr = cerr
-		}
-		return fmt.Errorf("oblx: write checkpoint: %w", werr)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := durable.WriteSealedAtomic(fsys, path, data); err != nil {
 		return fmt.Errorf("oblx: checkpoint: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. Sealed
+// envelopes are verified; raw JSON from older releases is still
+// accepted so in-flight checkpoints survive an upgrade.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
+	return LoadCheckpointFS(nil, path)
+}
+
+// LoadCheckpointFS is LoadCheckpoint through an explicit filesystem; a
+// nil fsys uses the real one.
+func LoadCheckpointFS(fsys durable.FS, path string) (*Checkpoint, error) {
+	if fsys == nil {
+		fsys = durable.OS
+	}
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("oblx: load checkpoint: %w", err)
+	}
+	if durable.IsSealed(data) {
+		payload, err := durable.Open(data)
+		if err != nil {
+			return nil, fmt.Errorf("oblx: checkpoint %s: %w", path, err)
+		}
+		data = payload
 	}
 	ck := &Checkpoint{}
 	if err := json.Unmarshal(data, ck); err != nil {

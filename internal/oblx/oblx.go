@@ -115,6 +115,23 @@ type ProgressEvent struct {
 // ProgressFunc receives streaming progress from a running synthesis.
 type ProgressFunc func(ProgressEvent)
 
+// finiteSpecVals copies m dropping NaN/±Inf entries. Individual specs
+// can legitimately fail to measure mid-anneal (e.g. an unstable reduced
+// model rejects its transfer-function specs), and progress events must
+// stay JSON-encodable for consumers like the oblxd SSE stream.
+func finiteSpecVals(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // TraceSample is one Fig. 2 data point.
 type TraceSample struct {
 	Move     int
@@ -145,6 +162,13 @@ type FailureStats struct {
 	// RejectedMoves counts moves the annealer rejected for a non-finite
 	// cost (per move class in Result.MoveStats[].Failed).
 	RejectedMoves int `json:"rejected_moves"`
+	// Unstable counts transfer-function fits where the AWE Padé reduction
+	// produced a model with right-half-plane poles (awe.ErrUnstable). The
+	// model is still measured — the RHP pole is frequently a fit artifact
+	// rather than real instability — but a run dominated by unstable fits
+	// deserves scrutiny, so the count is surfaced here and as the daemon's
+	// oblxd_eval_unstable_total metric.
+	Unstable int `json:"unstable,omitempty"`
 }
 
 // Total sums all failure events.
@@ -285,6 +309,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 		p.nanCosts = ck.NonFinite
 		p.retries = ck.Retries
 		p.quarantined = ck.Quarantined
+		c.Workspace().SetUnstableCount(ck.Unstable)
 		baseDur = time.Duration(ck.ElapsedNS)
 	}
 
@@ -331,7 +356,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 			}
 			if st := c.Evaluate(tp.X); st.Err == nil {
 				ev.MaxKCLError = st.MaxKCLError()
-				ev.SpecVals = st.SpecVals
+				ev.SpecVals = finiteSpecVals(st.SpecVals)
 			}
 			opt.Progress(ev)
 		}
@@ -360,6 +385,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 				NonFinite:   p.nanCosts,
 				Retries:     p.retries,
 				Quarantined: p.quarantined,
+				Unstable:    c.Workspace().UnstableCount(),
 				ElapsedNS:   int64(baseDur + time.Since(start)),
 			}
 			if err := SaveCheckpoint(opt.CheckpointPath, ck); err != nil {
@@ -404,6 +430,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 			Retries:         p.retries,
 			Quarantined:     p.quarantined,
 			RejectedMoves:   res.NonFinite,
+			Unstable:        c.Workspace().UnstableCount(),
 		},
 		CheckpointErr: ckErr,
 	}

@@ -11,6 +11,7 @@ import (
 
 	"astrx/internal/anneal"
 	"astrx/internal/astrx"
+	"astrx/internal/durable"
 	"astrx/internal/faults"
 	"astrx/internal/netlist"
 )
@@ -203,6 +204,60 @@ func TestSaveLoadCheckpoint(t *testing.T) {
 	}
 	if _, err := LoadCheckpoint(bad); err == nil {
 		t.Error("wrong-version checkpoint loaded")
+	}
+}
+
+// TestCheckpointEnvelopeAndLegacy pins the durability contract of the
+// checkpoint file: saves land on disk as checksummed envelopes carrying
+// every counter (including Unstable), a corrupted envelope is refused,
+// and raw-JSON checkpoints from releases before the envelope still load.
+func TestCheckpointEnvelopeAndLegacy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ckpt")
+	ck := &Checkpoint{Version: checkpointVersion, Seed: 5, MaxMoves: 100, Vars: 2,
+		Anneal: &anneal.Checkpoint{}, Weights: &astrx.WeightsState{},
+		Evals: 42, Unstable: 7}
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable.IsSealed(raw) {
+		t.Fatal("SaveCheckpoint wrote a raw file, want a sealed envelope")
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evals != 42 || got.Unstable != 7 {
+		t.Errorf("counters lost in round trip: %+v", got)
+	}
+
+	// Flip a payload byte: the checksum must catch it.
+	raw[len(raw)-2] ^= 0x01
+	torn := filepath.Join(dir, "torn.ckpt")
+	if err := os.WriteFile(torn, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(torn); err == nil {
+		t.Error("corrupted envelope loaded without error")
+	}
+
+	// A pre-envelope checkpoint is plain JSON; it must still resume.
+	legacy := filepath.Join(dir, "legacy.ckpt")
+	if err := os.WriteFile(legacy, []byte(
+		`{"version":1,"seed":9,"max_moves":50,"vars":2,`+
+			`"anneal":{},"weights":{},"evals":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := LoadCheckpoint(legacy)
+	if err != nil {
+		t.Fatalf("legacy raw-JSON checkpoint rejected: %v", err)
+	}
+	if lk.Seed != 9 || lk.Evals != 3 || lk.Unstable != 0 {
+		t.Errorf("legacy checkpoint = %+v", lk)
 	}
 }
 

@@ -1,0 +1,97 @@
+// Package retry provides the reusable backoff policy the synthesis
+// service applies to supervised work: exponential delay growth with
+// decorrelating jitter and a bounded attempt budget. It is deliberately
+// tiny and deterministic at its core — Delay is a pure function of
+// (attempt, jitter draw) — so supervision logic can be tested without
+// sleeping and a fault post-mortem can reconstruct the exact schedule a
+// job experienced.
+package retry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Policy describes an exponential-backoff retry schedule.
+//
+// The zero value is not useful; start from Default() and override
+// fields, or fill in all of them. Attempt numbering is 1-based: attempt
+// 1 is the first retry after the initial failure.
+type Policy struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay (0 → no cap).
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor (values below 1 are
+	// treated as 1, i.e. constant backoff).
+	Multiplier float64
+	// Jitter is the fraction of the computed delay randomized away, in
+	// [0, 1]: the returned delay is uniform in [d·(1-Jitter), d]. Jitter
+	// de-synchronizes retry herds after a correlated failure.
+	Jitter float64
+	// MaxAttempts bounds the retries; Exhausted reports when a worker
+	// should stop retrying and escalate (0 → never exhausted).
+	MaxAttempts int
+}
+
+// Default returns the service's standard policy: 1s base, doubling,
+// capped at 1 minute, 50% jitter, 3 attempts.
+func Default() Policy {
+	return Policy{
+		Base:        time.Second,
+		Max:         time.Minute,
+		Multiplier:  2,
+		Jitter:      0.5,
+		MaxAttempts: 3,
+	}
+}
+
+// Delay returns the backoff before the attempt-th retry, with the
+// jitter draw u supplied by the caller (u must be in [0, 1)). It is a
+// pure function, so tests and post-mortems can enumerate a schedule
+// exactly.
+func (p Policy) Delay(attempt int, u float64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	d := float64(p.Base) * math.Pow(mult, float64(attempt-1))
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [d·(1-j), d].
+		d = d * (1 - j*u)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Backoff returns the delay before the attempt-th retry with a random
+// jitter draw.
+func (p Policy) Backoff(attempt int) time.Duration {
+	return p.Delay(attempt, rand.Float64())
+}
+
+// Exhausted reports whether the attempt budget is spent: attempt counts
+// the retries already performed.
+func (p Policy) Exhausted(attempt int) bool {
+	return p.MaxAttempts > 0 && attempt >= p.MaxAttempts
+}
+
+// String renders the policy for logs and runbooks.
+func (p Policy) String() string {
+	return fmt.Sprintf("retry{base=%s max=%s x%g jitter=%g attempts=%d}",
+		p.Base, p.Max, p.Multiplier, p.Jitter, p.MaxAttempts)
+}

@@ -1,0 +1,77 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i+1, 0); got != w {
+			t.Errorf("attempt %d: delay %s, want %s", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayJitterRange(t *testing.T) {
+	p := Policy{Base: time.Second, Multiplier: 2, Jitter: 0.5}
+	// u=0 → full delay; u→1 → half the delay.
+	if got := p.Delay(1, 0); got != time.Second {
+		t.Errorf("u=0: %s, want 1s", got)
+	}
+	if got := p.Delay(1, 0.999999); got < 500*time.Millisecond || got > time.Second {
+		t.Errorf("u≈1: %s, want in [500ms, 1s]", got)
+	}
+	// Randomized draws stay inside the band.
+	for i := 0; i < 100; i++ {
+		if got := p.Backoff(2); got < time.Second || got > 2*time.Second {
+			t.Fatalf("Backoff(2) = %s outside [1s, 2s]", got)
+		}
+	}
+}
+
+func TestDelayDegenerateInputs(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Multiplier: 0.1} // <1 → constant
+	if got := p.Delay(5, 0); got != 50*time.Millisecond {
+		t.Errorf("sub-unity multiplier: %s, want 50ms", got)
+	}
+	if got := p.Delay(0, 0); got != 50*time.Millisecond {
+		t.Errorf("attempt 0 clamps to 1: got %s", got)
+	}
+	over := Policy{Base: time.Second, Multiplier: 1, Jitter: 3}
+	if got := over.Delay(1, 1); got != 0 {
+		t.Errorf("jitter clamped to 1 with u=1: got %s, want 0", got)
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	for attempt, want := range map[int]bool{0: false, 1: false, 2: false, 3: true, 4: true} {
+		if got := p.Exhausted(attempt); got != want {
+			t.Errorf("Exhausted(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	unbounded := Policy{}
+	if unbounded.Exhausted(1 << 20) {
+		t.Error("MaxAttempts=0 must never exhaust")
+	}
+}
+
+func TestDefaultIsSane(t *testing.T) {
+	p := Default()
+	if p.Base <= 0 || p.Max < p.Base || p.Multiplier < 1 || p.MaxAttempts < 1 {
+		t.Fatalf("Default() is degenerate: %+v", p)
+	}
+	if p.String() == "" {
+		t.Error("String() empty")
+	}
+}

@@ -33,8 +33,33 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// writeErr emits a JSON error body. Every error response carries a
+// Retry-After hint: a real backoff for the load-shedding codes, a
+// nominal one elsewhere (the X-Request-Id header is added for all
+// responses by the Handler middleware).
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "5")
+	default:
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// withRequestID tags every request and response with an X-Request-Id —
+// honoring the client's when present, minting one otherwise — so an API
+// error can be correlated with the daemon's job log lines.
+func withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newID()
+			r.Header.Set("X-Request-Id", id)
+		}
+		w.Header().Set("X-Request-Id", id)
+		h.ServeHTTP(w, r)
+	})
 }
 
 // Handler returns the service's HTTP API:
@@ -47,7 +72,10 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /debug/metrics       Prometheus text exposition
 //	GET    /debug/pprof/        runtime profiles (only with Options.EnableProfiling)
-//	GET    /healthz             200 ok / 503 draining
+//	GET    /healthz             JSON health detail; 200 ok/degraded, 503 draining
+//
+// Every response carries an X-Request-Id header (the client's, or a
+// minted one); error responses also carry a Retry-After hint.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
@@ -68,13 +96,15 @@ func (m *Manager) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if m.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
+		h := m.Health()
+		code := http.StatusOK
+		if h.Status == "draining" {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "5")
 		}
-		io.WriteString(w, "ok\n")
+		writeJSON(w, code, h)
 	})
-	return mux
+	return withRequestID(mux)
 }
 
 func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -133,12 +163,14 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, err := m.Submit(req.Deck, req.Options)
+	j, err := m.SubmitWithRequestID(req.Deck, req.Options, r.Header.Get("X-Request-Id"))
 	if err != nil {
 		var de *DeckError
 		switch {
 		case errors.Is(err, ErrDraining):
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
 		case errors.As(err, &de):
 			writeErr(w, http.StatusBadRequest, "%v", de.Err)
 		default:

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"astrx/internal/durable"
 )
 
 // TestRestartResume is the daemon-death drill from the issue: start a
@@ -239,15 +241,16 @@ func (d *sseDecoder) next() (Event, error) {
 	return Event{}, io.EOF
 }
 
-// readRecord loads a persisted job record from the state directory.
+// readRecord loads a persisted job record from the state directory,
+// verifying its durable envelope.
 func readRecord(t *testing.T, dir, id string) *jobRecord {
 	t.Helper()
-	data, err := os.ReadFile(dir + "/job-" + id + ".json")
+	payload, err := durable.ReadSealed(nil, dir+"/job-"+id+".json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var rec jobRecord
-	if err := json.Unmarshal(data, &rec); err != nil {
+	if err := json.Unmarshal(payload, &rec); err != nil {
 		t.Fatal(err)
 	}
 	return &rec

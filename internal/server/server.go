@@ -30,9 +30,11 @@ import (
 	"sync"
 	"time"
 
+	"astrx/internal/durable"
 	"astrx/internal/metrics"
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
+	"astrx/internal/retry"
 	"astrx/internal/verify"
 )
 
@@ -45,11 +47,27 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StatePoisoned marks a job the supervisor gave up on: it stalled (or
+	// otherwise failed retryably) on every allowed attempt. Terminal; the
+	// failure history rides along in the result.
+	StatePoisoned State = "poisoned"
 )
 
 // terminal reports whether a state is final.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StatePoisoned
+}
+
+// allStates lists every lifecycle state, for the jobs-by-state metric.
+var allStates = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StatePoisoned}
+
+// JobFailure is one entry of a supervised job's failure history: what
+// went wrong on which attempt. The history is persisted with the job and
+// attached to a poisoned job's result.
+type JobFailure struct {
+	Attempt int       `json:"attempt"`
+	Error   string    `json:"error"`
+	Time    time.Time `json:"time"`
 }
 
 // JobOptions are the per-job synthesis knobs a client may set.
@@ -117,6 +135,8 @@ type JobResult struct {
 	// cancelled job's half-annealed point may not bias-converge); the
 	// synthesis result above is still valid best-so-far data.
 	VerifyError string `json:"verify_error,omitempty"`
+	// History is the supervision failure history (poisoned jobs).
+	History []JobFailure `json:"history,omitempty"`
 }
 
 // Job is one synthesis job. All mutable fields are guarded by mu.
@@ -142,6 +162,20 @@ type Job struct {
 	// userCancelled distinguishes DELETE (terminal) from a shutdown
 	// drain (job stays resumable).
 	userCancelled bool
+	// stallKilled is set by the watchdog just before it cancels a stalled
+	// run, so finishJob routes the outcome to the retry path instead of
+	// recording a user cancellation.
+	stallKilled bool
+	// lastTick is the time of the last ProgressFunc tick (or the run
+	// start); the watchdog compares it against the stall timeout.
+	lastTick time.Time
+	// attempts counts supervised execution attempts; history records what
+	// each failed one died of.
+	attempts int
+	history  []JobFailure
+	// requestID is the X-Request-Id of the submitting HTTP request,
+	// echoed in this job's log lines for correlation.
+	requestID string
 	// resume holds the checkpoint to continue from, set during recovery.
 	resume *oblx.Checkpoint
 }
@@ -249,6 +283,11 @@ func (j *Job) Subscribe() (replay []Event, ch chan Event, cancel func()) {
 // layer maps it to 503 Service Unavailable.
 var ErrDraining = errors.New("server: draining, not accepting new jobs")
 
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 429 Too Many Requests with a
+// Retry-After header.
+var ErrQueueFull = errors.New("server: queue full, try again later")
+
 // DeckError wraps a deck validation failure; the HTTP layer maps it to
 // 400 Bad Request.
 type DeckError struct{ Err error }
@@ -282,12 +321,37 @@ type Options struct {
 	EnableProfiling bool
 	// Logf receives operational log lines (nil → discarded).
 	Logf func(format string, args ...any)
+
+	// MaxQueue bounds the number of jobs waiting for a worker; Submit
+	// returns ErrQueueFull (HTTP 429 + Retry-After) beyond it. 0 → the
+	// queue is unbounded.
+	MaxQueue int
+	// StallTimeout is how long a running job may go without a progress
+	// tick before the watchdog kills and requeues it. 0 → supervision
+	// off.
+	StallTimeout time.Duration
+	// Retry shapes the backoff between supervised attempts of a stalled
+	// job. Zero value → retry.Default(); MaxAttempts below overrides the
+	// policy's cap when set.
+	Retry retry.Policy
+	// MaxAttempts caps supervised execution attempts before a job is
+	// poisoned (0 → the retry policy's own cap; Default is 3).
+	MaxAttempts int
+	// JobDeadline bounds one job's wall-clock run time; a job that
+	// exceeds it fails terminally with a deadline error. 0 → no limit.
+	JobDeadline time.Duration
+	// FS is the filesystem under the persistence layer (nil → the real
+	// one). Chaos tests substitute a fault-injecting wrapper.
+	FS durable.FS
 }
 
 // Manager owns the job table, the queue, and the worker pool.
 type Manager struct {
-	opt Options
-	reg *metrics.Registry
+	opt   Options
+	reg   *metrics.Registry
+	fsys  durable.FS
+	rpol  retry.Policy
+	start time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -295,17 +359,24 @@ type Manager struct {
 	queue    []*Job
 	running  int
 	draining bool
+	degraded bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	// metric instruments
-	mSubmitted *metrics.Counter
-	mEvals     *metrics.Counter
-	mEvalRate  *metrics.Gauge
-	mAccept    *metrics.Gauge
-	mJobSecs   *metrics.Histogram
+	mSubmitted  *metrics.Counter
+	mEvals      *metrics.Counter
+	mEvalRate   *metrics.Gauge
+	mAccept     *metrics.Gauge
+	mJobSecs    *metrics.Histogram
+	mRetries    *metrics.Counter
+	mStalls     *metrics.Counter
+	mShed       *metrics.Counter
+	mPersistErr *metrics.Counter
+	mQuarantine *metrics.Counter
+	mUnstable   *metrics.Counter
 }
 
 // New creates a manager, recovers persisted jobs from the state
@@ -327,10 +398,24 @@ func New(opt Options) (*Manager, error) {
 	if reg == nil {
 		reg = metrics.New()
 	}
+	rpol := opt.Retry
+	if rpol == (retry.Policy{}) {
+		rpol = retry.Default()
+	}
+	if opt.MaxAttempts > 0 {
+		rpol.MaxAttempts = opt.MaxAttempts
+	}
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = durable.OS
+	}
 	m := &Manager{
-		opt:  opt,
-		reg:  reg,
-		jobs: make(map[string]*Job),
+		opt:   opt,
+		reg:   reg,
+		fsys:  fsys,
+		rpol:  rpol,
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
@@ -351,12 +436,31 @@ func New(opt Options) (*Manager, error) {
 		return float64(len(m.queue))
 	})
 	reg.SetHelp("oblxd_queue_depth", "jobs waiting for a worker")
-	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, st := range allStates {
 		st := st
 		reg.GaugeFunc("oblxd_jobs", func() float64 { return float64(m.countState(st)) },
 			"state", string(st))
 	}
 	reg.SetHelp("oblxd_jobs", "jobs by lifecycle state")
+	m.mRetries = reg.Counter("oblxd_job_retries_total")
+	reg.SetHelp("oblxd_job_retries_total", "supervised job requeues after a stall")
+	m.mStalls = reg.Counter("oblxd_stalls_total")
+	reg.SetHelp("oblxd_stalls_total", "running jobs killed by the stall watchdog")
+	m.mShed = reg.Counter("oblxd_shed_total")
+	reg.SetHelp("oblxd_shed_total", "submissions rejected because the queue was full")
+	m.mPersistErr = reg.Counter("oblxd_persist_errors_total")
+	reg.SetHelp("oblxd_persist_errors_total", "failed state-directory writes")
+	m.mQuarantine = reg.Counter("oblxd_quarantined_files_total")
+	reg.SetHelp("oblxd_quarantined_files_total", "state files quarantined by the startup fsck")
+	m.mUnstable = reg.Counter("oblxd_eval_unstable_total")
+	reg.SetHelp("oblxd_eval_unstable_total", "transfer-function fits whose reduced model kept an RHP pole (still measured, but degraded)")
+	reg.GaugeFunc("oblxd_degraded", func() float64 {
+		if m.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	reg.SetHelp("oblxd_degraded", "1 while the state dir is unwritable and the daemon runs in-memory")
 
 	if opt.StateDir != "" {
 		if err := m.recover(); err != nil {
@@ -366,6 +470,10 @@ func New(opt Options) (*Manager, error) {
 	for i := 0; i < opt.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if opt.StallTimeout > 0 {
+		m.wg.Add(1)
+		go m.watchdog()
 	}
 	return m, nil
 }
@@ -396,8 +504,15 @@ func newID() string {
 
 // Submit validates a deck and enqueues a synthesis job. A deck that
 // fails to parse or validate is rejected with a *DeckError; during
-// shutdown Submit returns ErrDraining.
+// shutdown Submit returns ErrDraining; when the bounded queue is at
+// capacity it returns ErrQueueFull.
 func (m *Manager) Submit(deckSrc string, opt JobOptions) (*Job, error) {
+	return m.SubmitWithRequestID(deckSrc, opt, "")
+}
+
+// SubmitWithRequestID is Submit tagged with the submitting request's
+// X-Request-Id, echoed in the job's log lines for correlation.
+func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID string) (*Job, error) {
 	d, err := netlist.Parse(deckSrc)
 	if err != nil {
 		return nil, &DeckError{Err: err}
@@ -412,12 +527,13 @@ func (m *Manager) Submit(deckSrc string, opt JobOptions) (*Job, error) {
 	}
 
 	j := &Job{
-		ID:       newID(),
-		Deck:     deckSrc,
-		Options:  opt,
-		Created:  time.Now(),
-		state:    StateQueued,
-		bestCost: math.NaN(),
+		ID:        newID(),
+		Deck:      deckSrc,
+		Options:   opt,
+		Created:   time.Now(),
+		state:     StateQueued,
+		bestCost:  math.NaN(),
+		requestID: requestID,
 	}
 	j.events = append(j.events, Event{Type: "state", State: StateQueued})
 
@@ -425,6 +541,11 @@ func (m *Manager) Submit(deckSrc string, opt JobOptions) (*Job, error) {
 	if m.draining {
 		m.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if m.opt.MaxQueue > 0 && len(m.queue) >= m.opt.MaxQueue {
+		m.mu.Unlock()
+		m.mShed.Inc()
+		return nil, ErrQueueFull
 	}
 	m.jobs[j.ID] = j
 	m.mu.Unlock()
@@ -441,9 +562,17 @@ func (m *Manager) Submit(deckSrc string, opt JobOptions) (*Job, error) {
 	m.mu.Unlock()
 
 	m.mSubmitted.Inc()
-	m.opt.Logf("oblxd: job %s queued (moves=%d runs=%d seed=%d)",
-		j.ID, opt.MaxMoves, opt.Runs, opt.Seed)
+	m.opt.Logf("oblxd: job %s queued (moves=%d runs=%d seed=%d)%s",
+		j.ID, opt.MaxMoves, opt.Runs, opt.Seed, reqSuffix(requestID))
 	return j, nil
+}
+
+// reqSuffix formats the request-ID tail of a job log line.
+func reqSuffix(requestID string) string {
+	if requestID == "" {
+		return ""
+	}
+	return " req=" + requestID
 }
 
 // Get returns a job by ID, or nil.
@@ -575,9 +704,19 @@ func (m *Manager) worker() {
 	}
 }
 
+// synthesize and synthesizeBest are seams over the engine entry points,
+// so supervision tests can substitute a run that stalls or blocks.
+var (
+	synthesize     = oblx.Run
+	synthesizeBest = oblx.RunBest
+)
+
 // runJob executes one synthesis job end to end.
 func (m *Manager) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(m.ctx)
+	if m.opt.JobDeadline > 0 {
+		ctx, cancel = context.WithTimeout(m.ctx, m.opt.JobDeadline)
+	}
 	defer cancel()
 
 	j.mu.Lock()
@@ -587,18 +726,20 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.lastTick = j.started
 	j.cancel = cancel
 	resume := j.resume
+	attempt := j.attempts + 1
 	j.publishLocked(Event{Type: "state", State: StateRunning})
 	j.mu.Unlock()
 	if err := m.persist(j); err != nil {
 		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
 	}
-	m.opt.Logf("oblxd: job %s running", j.ID)
+	m.opt.Logf("oblxd: job %s running (attempt %d)%s", j.ID, attempt, reqSuffix(j.requestID))
 
 	deck, err := netlist.Parse(j.Deck)
 	if err != nil { // validated at submit; only possible via disk corruption
-		m.finishJob(j, nil, fmt.Errorf("server: reparse deck: %w", err))
+		m.finishJob(j, nil, fmt.Errorf("server: reparse deck: %w", err), false)
 		return
 	}
 
@@ -634,6 +775,7 @@ func (m *Manager) runJob(j *Job) {
 			j.mu.Lock()
 			p := ev
 			j.lastProg = &p
+			j.lastTick = now
 			if math.IsNaN(j.bestCost) || ev.BestCost < j.bestCost {
 				j.bestCost = ev.BestCost
 			}
@@ -649,29 +791,88 @@ func (m *Manager) runJob(j *Job) {
 			opt.CheckpointEvery = m.opt.CheckpointEvery
 			opt.Resume = resume
 		}
-		res, err = oblx.Run(ctx, deck, opt)
+		res, err = synthesize(ctx, deck, opt)
 	} else {
 		// Checkpointing is a single-run feature (n parallel runs would
 		// race on one snapshot); multi-run jobs restart from scratch
 		// after a daemon kill.
 		var errs []error
-		res, _, errs = oblx.RunBest(ctx, deck, j.Options.Runs, opt)
+		res, _, errs = synthesizeBest(ctx, deck, j.Options.Runs, opt)
 		if res == nil {
 			err = errors.Join(errs...)
 		}
 	}
-	m.finishJob(j, res, err)
+	deadlineHit := m.opt.JobDeadline > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded)
+	m.finishJob(j, res, err, deadlineHit)
+}
+
+// watchdog periodically scans running jobs for missing progress ticks
+// and kills stalled ones; finishJob then requeues them with backoff or
+// poisons repeat offenders.
+func (m *Manager) watchdog() {
+	defer m.wg.Done()
+	interval := m.opt.StallTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+		m.mu.Lock()
+		jobs := make([]*Job, 0, len(m.jobs))
+		for _, j := range m.jobs {
+			jobs = append(jobs, j)
+		}
+		m.mu.Unlock()
+		now := time.Now()
+		for _, j := range jobs {
+			j.mu.Lock()
+			stalled := j.state == StateRunning && j.cancel != nil && !j.stallKilled &&
+				now.Sub(j.lastTick) > m.opt.StallTimeout
+			var cancel context.CancelFunc
+			if stalled {
+				j.stallKilled = true
+				cancel = j.cancel
+			}
+			j.mu.Unlock()
+			if stalled {
+				m.mStalls.Inc()
+				m.opt.Logf("oblxd: job %s stalled (no progress within %s), killing%s",
+					j.ID, m.opt.StallTimeout, reqSuffix(j.requestID))
+				cancel()
+			}
+		}
+	}
 }
 
 // finishJob records the outcome of a run: done, failed, cancelled (user
-// request, partial result kept), or — when the manager is draining — a
+// request, partial result kept), poisoned/requeued (watchdog kill), a
+// terminal deadline failure, or — when the manager is draining — a
 // checkpointed hand-off back to the queued state for the next daemon
 // incarnation.
-func (m *Manager) finishJob(j *Job, res *oblx.Result, err error) {
+func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit bool) {
 	j.mu.Lock()
 	j.cancel = nil
 	userCancelled := j.userCancelled
+	stalled := j.stallKilled
+	j.stallKilled = false
 	j.mu.Unlock()
+
+	if stalled && !userCancelled {
+		// The watchdog killed this run. The annealer checkpointed at the
+		// cancellation move, so the retry resumes from there (single-run
+		// jobs) rather than replaying the whole anneal.
+		m.retryOrPoison(j, fmt.Sprintf("stalled: no progress within %s", m.opt.StallTimeout))
+		return
+	}
 
 	shutdownInterrupted := res != nil && res.Cancelled && !userCancelled && m.Draining()
 	if shutdownInterrupted {
@@ -693,6 +894,12 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error) {
 	result := &JobResult{ID: j.ID}
 	var state State
 	switch {
+	case deadlineHit && !userCancelled:
+		// The per-job wall-clock deadline fired; the partial best-so-far
+		// design is kept, but the job is a terminal failure, not a
+		// cancellation the user asked for.
+		state = StateFailed
+		result.Error = fmt.Sprintf("server: job deadline %s exceeded", m.opt.JobDeadline)
 	case err != nil:
 		state = StateFailed
 		result.Error = err.Error()
@@ -703,6 +910,9 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error) {
 	}
 	if res != nil {
 		result.Result = res.View()
+		if n := res.Failures.Unstable; n > 0 {
+			m.mUnstable.Add(int64(n))
+		}
 		if res.CheckpointErr != nil {
 			m.opt.Logf("oblxd: job %s checkpoint writes failed: %v", j.ID, res.CheckpointErr)
 		}
@@ -731,6 +941,14 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error) {
 	}
 	result.State = state
 
+	// Remove the crash-recovery checkpoint before the terminal state
+	// becomes observable, so "terminal ⇒ no checkpoint" holds for every
+	// watcher. If the daemon dies in the window before the terminal
+	// record persists below, recovery sees a running record with no
+	// checkpoint and re-runs the job from scratch — at-least-once, never
+	// lost.
+	m.removeCheckpoint(j, state)
+
 	j.mu.Lock()
 	j.state = state
 	j.err = result.Error
@@ -747,6 +965,112 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error) {
 	if err := m.persist(j); err != nil {
 		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
 	}
-	m.removeCheckpoint(j, state)
-	m.opt.Logf("oblxd: job %s %s", j.ID, state)
+	m.opt.Logf("oblxd: job %s %s%s", j.ID, state, reqSuffix(j.requestID))
+}
+
+// retryOrPoison handles a watchdog-killed run: record the failure,
+// requeue with exponential backoff while attempts remain, and poison the
+// job — terminally, with its history attached — once they run out.
+func (m *Manager) retryOrPoison(j *Job, cause string) {
+	j.mu.Lock()
+	j.attempts++
+	attempt := j.attempts
+	j.history = append(j.history, JobFailure{Attempt: attempt, Error: cause, Time: time.Now()})
+
+	if m.rpol.Exhausted(attempt) {
+		j.mu.Unlock()
+		// Same ordering as finishJob: checkpoint gone before the terminal
+		// state is observable.
+		m.removeCheckpoint(j, StatePoisoned)
+
+		errMsg := fmt.Sprintf("server: poisoned after %d attempts; last: %s", attempt, cause)
+		j.mu.Lock()
+		j.state = StatePoisoned
+		j.err = errMsg
+		j.finished = time.Now()
+		j.result = &JobResult{ID: j.ID, State: StatePoisoned, Error: errMsg, History: j.history}
+		j.publishLocked(Event{Type: "state", State: StatePoisoned, Error: errMsg})
+		started := j.started
+		j.mu.Unlock()
+
+		m.reg.Counter("oblxd_jobs_finished_total", "state", string(StatePoisoned)).Inc()
+		if !started.IsZero() {
+			m.mJobSecs.Observe(time.Since(started).Seconds())
+		}
+		if err := m.persist(j); err != nil {
+			m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		}
+		m.opt.Logf("oblxd: job %s poisoned after %d attempts%s", j.ID, attempt, reqSuffix(j.requestID))
+		return
+	}
+
+	j.state = StateQueued
+	j.started = time.Time{}
+	// Resume the retry from the checkpoint the killed run left behind
+	// (single-run jobs only, like restart recovery).
+	if m.opt.StateDir != "" && j.Options.Runs <= 1 {
+		if ck, err := oblx.LoadCheckpointFS(m.fsys, m.checkpointPath(j.ID)); err == nil {
+			j.resume = ck
+		}
+	}
+	j.publishLocked(Event{Type: "state", State: StateQueued, Error: cause})
+	j.mu.Unlock()
+
+	m.mRetries.Inc()
+	if err := m.persist(j); err != nil {
+		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+	}
+	delay := m.rpol.Backoff(attempt)
+	m.opt.Logf("oblxd: job %s requeued in %s (attempt %d/%d)%s",
+		j.ID, delay.Round(time.Millisecond), attempt, m.rpol.MaxAttempts, reqSuffix(j.requestID))
+	time.AfterFunc(delay, func() { m.enqueue(j) })
+}
+
+// enqueue puts a backoff-delayed job back on the run queue, unless the
+// manager began draining (the job stays queued on disk for the next
+// incarnation) or the job was cancelled while waiting.
+func (m *Manager) enqueue(j *Job) {
+	if j.State() != StateQueued {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return
+	}
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+}
+
+// Health is the JSON body of GET /healthz.
+type Health struct {
+	// Status is "ok", "degraded" (state dir unwritable, running
+	// in-memory), or "draining" (shutting down; served with 503).
+	Status           string  `json:"status"`
+	QueueDepth       int     `json:"queue_depth"`
+	WorkersBusy      int     `json:"workers_busy"`
+	Workers          int     `json:"workers"`
+	StateDirWritable bool    `json:"state_dir_writable"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+}
+
+// Health snapshots the manager for the health endpoint.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{
+		Status:           "ok",
+		QueueDepth:       len(m.queue),
+		WorkersBusy:      m.running,
+		Workers:          m.opt.Workers,
+		StateDirWritable: m.opt.StateDir != "" && !m.degraded,
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+	}
+	switch {
+	case m.draining:
+		h.Status = "draining"
+	case m.degraded:
+		h.Status = "degraded"
+	}
+	return h
 }

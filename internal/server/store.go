@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"io/fs"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"astrx/internal/durable"
 	"astrx/internal/oblx"
 )
 
@@ -20,6 +20,10 @@ import (
 // can still serve GET /result; queued jobs keep enough to re-run; a job
 // that was running when the daemon died is recorded as running and
 // requeued with its checkpoint (job-<id>.ckpt) on recovery.
+//
+// Records are sealed in a checksummed durable envelope and written
+// atomically; the startup fsck in recover verifies every file before
+// trusting it.
 type jobRecord struct {
 	Version int        `json:"version"`
 	ID      string     `json:"id"`
@@ -29,9 +33,20 @@ type jobRecord struct {
 	State   State      `json:"state"`
 	Error   string     `json:"error,omitempty"`
 	Result  *JobResult `json:"result,omitempty"`
+	// Attempts and History carry the supervision state across restarts,
+	// so a job that stalled twice under the previous daemon has only its
+	// remaining attempts left under this one.
+	Attempts int          `json:"attempts,omitempty"`
+	History  []JobFailure `json:"history,omitempty"`
 }
 
-const jobRecordVersion = 1
+// jobRecordVersion 2 added the envelope seal and the supervision fields.
+// Version-1 records (raw JSON) are still readable.
+const jobRecordVersion = 2
+
+// quarantineDir is where the startup fsck moves files it refuses to
+// trust, relative to the state directory.
+const quarantineDir = "quarantine"
 
 func (m *Manager) jobPath(id string) string {
 	return filepath.Join(m.opt.StateDir, "job-"+id+".json")
@@ -41,23 +56,28 @@ func (m *Manager) checkpointPath(id string) string {
 	return filepath.Join(m.opt.StateDir, "job-"+id+".ckpt")
 }
 
-// persist writes the job's current state to the state directory
-// atomically (tmp + rename). A manager without a state directory
-// persists nothing.
+// persist writes the job's current state to the state directory as a
+// sealed envelope, atomically (tmp + fsync + rename + dir fsync). A
+// manager without a state directory persists nothing. Success and
+// failure feed the degraded-mode flag: an unwritable state directory
+// turns the daemon read-only in-memory instead of crashing it, and the
+// next successful write turns it back.
 func (m *Manager) persist(j *Job) error {
 	if m.opt.StateDir == "" {
 		return nil
 	}
 	j.mu.Lock()
 	rec := jobRecord{
-		Version: jobRecordVersion,
-		ID:      j.ID,
-		Deck:    j.Deck,
-		Options: j.Options,
-		Created: j.Created,
-		State:   j.state,
-		Error:   j.err,
-		Result:  j.result,
+		Version:  jobRecordVersion,
+		ID:       j.ID,
+		Deck:     j.Deck,
+		Options:  j.Options,
+		Created:  j.Created,
+		State:    j.state,
+		Error:    j.err,
+		Result:   j.result,
+		Attempts: j.attempts,
+		History:  j.history,
 	}
 	j.mu.Unlock()
 
@@ -65,16 +85,43 @@ func (m *Manager) persist(j *Job) error {
 	if err != nil {
 		return fmt.Errorf("server: marshal job %s: %w", j.ID, err)
 	}
-	path := m.jobPath(j.ID)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("server: write job record: %w", err)
+	if err := durable.WriteSealedAtomic(m.fsys, m.jobPath(j.ID), data); err != nil {
+		m.noteStateDirError(err)
+		return fmt.Errorf("server: persist job %s: %w", j.ID, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("server: commit job record: %w", err)
-	}
+	m.noteStateDirOK()
 	return nil
+}
+
+// noteStateDirError flips the manager into degraded (in-memory) mode.
+func (m *Manager) noteStateDirError(err error) {
+	m.mPersistErr.Inc()
+	m.mu.Lock()
+	was := m.degraded
+	m.degraded = true
+	m.mu.Unlock()
+	if !was {
+		m.opt.Logf("oblxd: state dir unwritable, degrading to in-memory mode: %v", err)
+	}
+}
+
+// noteStateDirOK clears degraded mode after a successful write.
+func (m *Manager) noteStateDirOK() {
+	m.mu.Lock()
+	was := m.degraded
+	m.degraded = false
+	m.mu.Unlock()
+	if was {
+		m.opt.Logf("oblxd: state dir writable again, leaving degraded mode")
+	}
+}
+
+// Degraded reports whether the manager is running in-memory because the
+// state directory stopped accepting writes.
+func (m *Manager) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
 }
 
 // removeCheckpoint deletes a job's checkpoint once it reaches a terminal
@@ -83,42 +130,84 @@ func (m *Manager) removeCheckpoint(j *Job, st State) {
 	if m.opt.StateDir == "" || !st.terminal() {
 		return
 	}
-	if err := os.Remove(m.checkpointPath(j.ID)); err != nil && !os.IsNotExist(err) {
+	if err := m.fsys.Remove(m.checkpointPath(j.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		m.opt.Logf("oblxd: remove checkpoint %s: %v", j.ID, err)
 	}
 }
 
-// recover loads persisted jobs from the state directory: terminal jobs
-// become servable history; queued jobs re-enter the queue; jobs recorded
-// as running died with the previous daemon and are requeued — with their
-// checkpoint attached when one exists, so single-run jobs resume from
-// the exact move the last snapshot captured.
+// quarantine moves a state-directory file the fsck refuses to trust into
+// quarantine/ (with a .reason sidecar) instead of deleting it, so an
+// operator can inspect what was lost and why. See docs/operations.md.
+func (m *Manager) quarantine(name, reason string) {
+	qdir := filepath.Join(m.opt.StateDir, quarantineDir)
+	if err := m.fsys.MkdirAll(qdir, 0o755); err != nil {
+		m.opt.Logf("oblxd: fsck: cannot create %s: %v (leaving %s in place)", qdir, err, name)
+		return
+	}
+	src := filepath.Join(m.opt.StateDir, name)
+	dst := filepath.Join(qdir, name)
+	if err := m.fsys.Rename(src, dst); err != nil {
+		m.opt.Logf("oblxd: fsck: cannot quarantine %s: %v", name, err)
+		return
+	}
+	if err := m.fsys.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644); err != nil {
+		m.opt.Logf("oblxd: fsck: cannot record quarantine reason for %s: %v", name, err)
+	}
+	m.mQuarantine.Inc()
+	m.opt.Logf("oblxd: fsck: quarantined %s: %s", name, reason)
+}
+
+// recover is the startup fsck plus job recovery. Every job-*.json is
+// verified (envelope checksum, parseable JSON, supported version, ID
+// matching the filename, no duplicates) before it is trusted; anything
+// that fails moves to quarantine/ with a recorded reason rather than
+// aborting startup or silently resuming from garbage. Orphan checkpoints
+// (no record) are quarantined too, and stale temp files from interrupted
+// atomic writes are deleted.
+//
+// Surviving records recover as before: terminal jobs become servable
+// history; queued jobs re-enter the queue; jobs recorded as running died
+// with the previous daemon and are requeued — with their checkpoint
+// attached when one exists and verifies, so single-run jobs resume from
+// the exact move the last snapshot captured. A corrupt checkpoint is
+// quarantined and its job restarts from scratch: a lost prefix of moves,
+// never a lost job.
 func (m *Manager) recover() error {
-	if err := os.MkdirAll(m.opt.StateDir, 0o755); err != nil {
+	if err := m.fsys.MkdirAll(m.opt.StateDir, 0o755); err != nil {
 		return fmt.Errorf("server: state dir: %w", err)
 	}
-	entries, err := os.ReadDir(m.opt.StateDir)
+	entries, err := m.fsys.ReadDir(m.opt.StateDir)
 	if err != nil {
 		return fmt.Errorf("server: read state dir: %w", err)
 	}
+
 	var requeue []*Job
+	var ckpts []string
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
+		switch {
+		case e.IsDir():
+			continue
+		case strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-"):
+			// Leftover from an atomic write the previous daemon never
+			// committed; the rename never happened, so nothing references it.
+			m.fsys.Remove(filepath.Join(m.opt.StateDir, name))
+			m.opt.Logf("oblxd: fsck: removed stale temp file %s", name)
+			continue
+		case strings.HasPrefix(name, "job-") && strings.HasSuffix(name, ".ckpt"):
+			ckpts = append(ckpts, name)
+			continue
+		case !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json"):
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(m.opt.StateDir, name))
-		if err != nil {
-			m.opt.Logf("oblxd: recover %s: %v", name, err)
+
+		rec, why := m.loadRecord(name)
+		if rec == nil {
+			m.quarantine(name, why)
 			continue
 		}
-		var rec jobRecord
-		if err := json.Unmarshal(data, &rec); err != nil {
-			m.opt.Logf("oblxd: recover %s: corrupt record: %v", name, err)
-			continue
-		}
-		if rec.Version != jobRecordVersion || rec.ID == "" {
-			m.opt.Logf("oblxd: recover %s: unsupported record version %d", name, rec.Version)
+		if _, dup := m.jobs[rec.ID]; dup {
+			m.quarantine(name, fmt.Sprintf("duplicate job ID %s", rec.ID))
 			continue
 		}
 		j := &Job{
@@ -129,29 +218,49 @@ func (m *Manager) recover() error {
 			state:    rec.State,
 			err:      rec.Error,
 			result:   rec.Result,
+			attempts: rec.Attempts,
+			history:  rec.History,
 			bestCost: math.NaN(),
 		}
 		switch rec.State {
-		case StateDone, StateFailed, StateCancelled:
+		case StateDone, StateFailed, StateCancelled, StatePoisoned:
 			j.events = append(j.events, Event{Type: "state", State: rec.State, Error: rec.Error})
 		case StateQueued, StateRunning:
 			j.state = StateQueued
 			j.events = append(j.events, Event{Type: "state", State: StateQueued})
-			if ck, err := oblx.LoadCheckpoint(m.checkpointPath(rec.ID)); err == nil {
+			ckName := "job-" + rec.ID + ".ckpt"
+			if ck, err := oblx.LoadCheckpointFS(m.fsys, m.checkpointPath(rec.ID)); err == nil {
 				if rec.Options.Runs <= 1 {
 					j.resume = ck
 					m.opt.Logf("oblxd: job %s will resume from move %d", rec.ID, ck.Anneal.Move)
 				}
 			} else if !errors.Is(err, fs.ErrNotExist) {
-				m.opt.Logf("oblxd: job %s: checkpoint unreadable, restarting run: %v", rec.ID, err)
+				m.quarantine(ckName, fmt.Sprintf("unreadable checkpoint for job %s: %v", rec.ID, err))
+				m.opt.Logf("oblxd: job %s: checkpoint quarantined, restarting run from scratch", rec.ID)
 			}
 			requeue = append(requeue, j)
 		default:
-			m.opt.Logf("oblxd: recover %s: unknown state %q", name, rec.State)
+			m.quarantine(name, fmt.Sprintf("unknown state %q", rec.State))
 			continue
 		}
 		m.jobs[j.ID] = j
 	}
+
+	// Checkpoints must belong to a live record; anything else is either
+	// garbage from a lost record (quarantine: the operator may want the
+	// moves) or a leftover of a terminal job (delete: its result is safe).
+	for _, name := range ckpts {
+		id := strings.TrimSuffix(strings.TrimPrefix(name, "job-"), ".ckpt")
+		j := m.jobs[id]
+		switch {
+		case j == nil:
+			m.quarantine(name, "orphan checkpoint: no job record for "+id)
+		case j.State().terminal():
+			m.fsys.Remove(filepath.Join(m.opt.StateDir, name))
+			m.opt.Logf("oblxd: fsck: removed checkpoint of terminal job %s", id)
+		}
+	}
+
 	// Requeue in original submission order.
 	sort.Slice(requeue, func(a, b int) bool {
 		return requeue[a].Created.Before(requeue[b].Created)
@@ -161,4 +270,37 @@ func (m *Manager) recover() error {
 		m.opt.Logf("oblxd: recovered %d pending job(s) from %s", n, m.opt.StateDir)
 	}
 	return nil
+}
+
+// loadRecord reads and verifies one job-<id>.json. On failure it returns
+// a nil record and the quarantine reason.
+func (m *Manager) loadRecord(name string) (*jobRecord, string) {
+	data, err := m.fsys.ReadFile(filepath.Join(m.opt.StateDir, name))
+	if err != nil {
+		return nil, fmt.Sprintf("unreadable: %v", err)
+	}
+	if len(data) == 0 {
+		return nil, "zero-byte record"
+	}
+	payload := data
+	if durable.IsSealed(data) {
+		payload, err = durable.Open(data)
+		if err != nil {
+			return nil, fmt.Sprintf("envelope verification failed: %v", err)
+		}
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Sprintf("corrupt JSON: %v", err)
+	}
+	if rec.Version < 1 || rec.Version > jobRecordVersion {
+		return nil, fmt.Sprintf("unsupported record version %d", rec.Version)
+	}
+	if rec.ID == "" {
+		return nil, "record has no job ID"
+	}
+	if want := "job-" + rec.ID + ".json"; name != want {
+		return nil, fmt.Sprintf("filename does not match embedded job ID %s", rec.ID)
+	}
+	return &rec, ""
 }
