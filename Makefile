@@ -4,14 +4,15 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: ci vet build test race chaos lint bench-json bench-check
+.PHONY: ci vet build test race chaos lint bench-json bench-check telemetry-guard
 
 # bench-check and lint are advisory in ci (benchmark timings on shared
 # CI hardware are too noisy to gate merges on, and the lint tools need
 # network access to download on first run); run them locally before
 # perf-sensitive changes and regenerate the baseline with bench-json
-# when a speedup or an accepted regression lands.
-ci: vet build test race
+# when a speedup or an accepted regression lands. telemetry-guard gates:
+# its allocs/eval comparison is deterministic, unlike timings.
+ci: vet build test race telemetry-guard
 	-$(MAKE) bench-check
 	-$(MAKE) lint
 
@@ -25,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/metrics
+	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/metrics ./internal/telemetry
 
 # chaos runs the fault-injection suites under the race detector: durable
 # envelope/atomic-write tests, the injector itself, retry/backoff, and
@@ -56,9 +57,21 @@ bench-json:
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # bench-check re-runs the same benchmarks and fails when any deck's
-# ns/eval regressed more than 15% against the committed BENCH_oblx.json.
+# ns/eval regressed more than 15% against the committed BENCH_oblx.json,
+# or when its allocs/eval exceeds the (zero-alloc) baseline.
 bench-check:
 	@tmp=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench Table2Eval -benchmem . > $$tmp && \
 	$(GO) run ./cmd/benchjson -filter Table2Eval -check BENCH_oblx.json < $$tmp; \
+	rc=$$?; rm -f $$tmp; exit $$rc
+
+# telemetry-guard proves stage-timing instrumentation stays off the
+# zero-alloc hot path: a short -benchtime run (allocs/op is exact even
+# at low iteration counts) checked against the baseline with a timing
+# budget wide enough to absorb CI noise — it trips only on the
+# catastrophic case, e.g. sampling accidentally enabled by default.
+telemetry-guard:
+	@tmp=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench Table2Eval -benchmem -benchtime 100x . > $$tmp && \
+	$(GO) run ./cmd/benchjson -filter Table2Eval -check BENCH_oblx.json -max-regress 2.0 < $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc

@@ -11,8 +11,11 @@
 // With -check FILE the parsed results are compared against a previously
 // recorded baseline instead of being written out: the command exits
 // nonzero when any benchmark's ns/eval regressed by more than
-// -max-regress (default 0.15, i.e. 15%) relative to the baseline, or
-// when a baseline entry is missing from the new run.
+// -max-regress (default 0.15, i.e. 15%) relative to the baseline, when
+// a baseline entry is missing from the new run, or when allocs/eval
+// exceeds the baseline. The alloc comparison is exact, not fractional:
+// the hot path is supposed to be allocation-free, and going from 0 to 1
+// alloc per evaluation is the regression the guard exists to catch.
 package main
 
 import (
@@ -105,6 +108,14 @@ func check(baseline Report, entries []Entry, maxRegress float64) []string {
 		if !ok {
 			problems = append(problems, fmt.Sprintf("%s: missing from this run", base.Name))
 			continue
+		}
+		// Alloc counts gate exactly: 0 allocs/eval is the contract, so any
+		// increase is a hot-path regression regardless of percentage.
+		if base.AllocsPerEval != nil && got.AllocsPerEval != nil &&
+			*got.AllocsPerEval > *base.AllocsPerEval {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d allocs/eval exceeds baseline %d",
+				base.Name, *got.AllocsPerEval, *base.AllocsPerEval))
 		}
 		if base.NsPerEval <= 0 {
 			continue

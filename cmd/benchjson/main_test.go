@@ -68,6 +68,31 @@ func TestCheck(t *testing.T) {
 	}
 }
 
+func TestCheckAllocs(t *testing.T) {
+	zero, one := int64(0), int64(1)
+	baseline := Report{Entries: []Entry{
+		{Name: "Table2EvalSimpleOTA", NsPerEval: 100000, AllocsPerEval: &zero},
+		{Name: "Table2EvalOTA", NsPerEval: 200000}, // no memory columns in baseline
+	}}
+	entries := []Entry{
+		{Name: "Table2EvalSimpleOTA", NsPerEval: 100000, AllocsPerEval: &one},
+		{Name: "Table2EvalOTA", NsPerEval: 200000, AllocsPerEval: &one},
+	}
+	problems := check(baseline, entries, 0.15)
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems, want 1 (alloc regression only): %v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "1 allocs/eval exceeds baseline 0") {
+		t.Errorf("alloc regression not reported as such: %v", problems)
+	}
+
+	// Matching alloc counts pass.
+	entries[0].AllocsPerEval = &zero
+	if got := check(baseline, entries, 0.15); len(got) != 0 {
+		t.Errorf("matching allocs flagged: %v", got)
+	}
+}
+
 func TestParseFilter(t *testing.T) {
 	entries, err := parse(strings.NewReader(sample), "Table2Eval")
 	if err != nil {

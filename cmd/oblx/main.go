@@ -30,13 +30,14 @@ import (
 	"astrx/internal/metrics"
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
+	"astrx/internal/telemetry"
 	"astrx/internal/verify"
 )
 
 // flagProblems collects every flag-validation error at once so a typo'd
 // invocation gets one complete diagnosis instead of a fail-fix-fail
 // loop. statFn is os.Stat in production, injectable for tests.
-func flagProblems(moves, runs, ckptEvery int, ckptPath string, resume bool,
+func flagProblems(moves, runs, ckptEvery, stageSample int, ckptPath string, resume bool,
 	statFn func(string) (os.FileInfo, error)) []string {
 	var probs []string
 	if moves < 1 {
@@ -47,6 +48,9 @@ func flagProblems(moves, runs, ckptEvery int, ckptPath string, resume bool,
 	}
 	if ckptEvery < 0 {
 		probs = append(probs, fmt.Sprintf("-checkpoint-every must be >= 0 (got %d)", ckptEvery))
+	}
+	if stageSample < 0 {
+		probs = append(probs, fmt.Sprintf("-stage-sample must be >= 0 (got %d)", stageSample))
 	}
 	if resume {
 		switch {
@@ -78,9 +82,12 @@ func main() {
 	faultNaN := flag.Float64("fault-nan", 0, "inject NaN costs at this rate (testing)")
 	faultNewton := flag.Float64("fault-newton", 0, "inject Newton non-convergence at this rate (testing)")
 	showMetrics := flag.Bool("metrics", false, "print a run-metrics summary (Prometheus text format) at exit")
+	traceOut := flag.String("trace-out", "", "write a flight-recorder trace (one JSON move record per line) to this file")
+	traceEvery := flag.Int("trace-every", 100, "moves between trace records (with -trace-out)")
+	stageSample := flag.Int("stage-sample", 0, "sample 1 in N evaluations for per-stage timing, printed at exit (0: off)")
 	flag.Parse()
 
-	if probs := flagProblems(*moves, *runs, *ckptEvery, *ckptPath, *resume, os.Stat); len(probs) > 0 {
+	if probs := flagProblems(*moves, *runs, *ckptEvery, *stageSample, *ckptPath, *resume, os.Stat); len(probs) > 0 {
 		for _, p := range probs {
 			fmt.Fprintln(os.Stderr, "oblx:", p)
 		}
@@ -140,6 +147,25 @@ func main() {
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
 	}
+	var timer *telemetry.EvalTimer
+	if *stageSample > 0 {
+		timer = telemetry.NewEvalTimer(*stageSample)
+		opt.StageTimer = timer
+	}
+	var flight *telemetry.FlightRecorder
+	if *traceOut != "" {
+		// Record every progress event into an unbounded-enough ring; the
+		// CLI trace is the whole run, not just the last moves.
+		every := *traceEvery
+		if every < 1 {
+			every = 100
+		}
+		flight = telemetry.NewFlightRecorder((*moves/every + 16) * *runs)
+		opt.ProgressEvery = every
+		opt.Progress = func(ev oblx.ProgressEvent) {
+			flight.Record(ev.FlightRecord())
+		}
+	}
 	if *faultPanic > 0 || *faultNaN > 0 || *faultNewton > 0 {
 		opt.Faults = faults.New(*seed+997, faults.Rates{
 			EvalPanic: *faultPanic, NaNCost: *faultNaN, NewtonFail: *faultNewton,
@@ -155,10 +181,22 @@ func main() {
 		fmt.Printf("resuming from %s (move %d of %d)\n", *ckptPath, ck.Anneal.Move, ck.MaxMoves)
 	}
 
+	// The trace is most valuable when the run dies, so it is written on
+	// the error exits too, not just after a clean finish.
+	dumpTrace := func() {
+		if flight == nil {
+			return
+		}
+		if err := writeTrace(*traceOut, flight); err != nil {
+			fmt.Fprintln(os.Stderr, "oblx: warning:", err)
+		}
+	}
+
 	var best *oblx.Result
 	if *runs <= 1 {
 		best, err = oblx.Run(ctx, deck, opt)
 		if err != nil {
+			dumpTrace()
 			fmt.Fprintln(os.Stderr, "oblx:", err)
 			os.Exit(1)
 		}
@@ -171,10 +209,12 @@ func main() {
 			}
 		}
 		if best == nil {
+			dumpTrace()
 			fmt.Fprintln(os.Stderr, "oblx: all runs failed")
 			os.Exit(1)
 		}
 	}
+	dumpTrace()
 
 	fmt.Printf("OBLX synthesis of %s (seed %d, %d moves", title, best.Seed, best.Moves)
 	if best.Froze {
@@ -231,8 +271,45 @@ func main() {
 	fmt.Printf("  reference bias: %d Newton iterations, max |KCL| %.3g A\n",
 		rep.BiasIterations, rep.MaxKCL)
 
+	if timer != nil {
+		printStages(timer)
+	}
 	if *showMetrics {
 		printMetrics(best)
+	}
+}
+
+// writeTrace dumps the flight-recorder ring to path as JSONL, one move
+// record per line, oldest first.
+func writeTrace(path string, flight *telemetry.FlightRecorder) error {
+	recs := flight.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := telemetry.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "oblx: wrote %d trace records to %s\n", len(recs), path)
+	return nil
+}
+
+// printStages renders the sampled per-stage eval timing collected under
+// -stage-sample: where each evaluated circuit actually spends its time.
+func printStages(timer *telemetry.EvalTimer) {
+	bd := timer.Breakdown()
+	if len(bd) == 0 {
+		return
+	}
+	fmt.Printf("  eval stage timing (sampled 1 in %d):\n", timer.SampleEvery())
+	for _, b := range bd {
+		mean := time.Duration(b.MeanSeconds * 1e9)
+		fmt.Printf("    %-10s %12v mean over %d samples\n",
+			b.Stage, mean.Round(time.Nanosecond), b.SampledEvals)
 	}
 }
 

@@ -14,6 +14,7 @@ func TestFlagProblems(t *testing.T) {
 	cases := []struct {
 		name            string
 		moves, runs, ce int
+		ss              int
 		ckpt            string
 		resume          bool
 		stat            func(string) (os.FileInfo, error)
@@ -64,6 +65,12 @@ func TestFlagProblems(t *testing.T) {
 			wantSubs: []string{"single-run feature"},
 		},
 		{
+			name:  "negative stage sample",
+			moves: 1000, runs: 1, ce: 5000, ss: -3,
+			stat:     statExists,
+			wantSubs: []string{"-stage-sample must be >= 0"},
+		},
+		{
 			name:  "several problems reported together",
 			moves: 0, runs: -2, ce: -7,
 			stat: statExists,
@@ -76,7 +83,7 @@ func TestFlagProblems(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			probs := flagProblems(tc.moves, tc.runs, tc.ce, tc.ckpt, tc.resume, tc.stat)
+			probs := flagProblems(tc.moves, tc.runs, tc.ce, tc.ss, tc.ckpt, tc.resume, tc.stat)
 			if len(tc.wantSubs) == 0 {
 				if len(probs) != 0 {
 					t.Fatalf("unexpected problems: %v", probs)

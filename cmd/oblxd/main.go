@@ -20,7 +20,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +28,7 @@ import (
 
 	"astrx/internal/metrics"
 	"astrx/internal/server"
+	"astrx/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +46,11 @@ func main() {
 		stallTO     = flag.Duration("stall-timeout", 0, "kill and requeue a running job with no progress tick for this long (0: supervision off)")
 		maxAttempts = flag.Int("max-attempts", 0, "supervised attempts before a stalling job is poisoned (0: default 3)")
 		jobDeadline = flag.Duration("job-deadline", 0, "per-job wall-clock limit; exceeding it fails the job (0: no limit)")
+
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		telemSample = flag.Int("telemetry-sample", 64, "sample 1 in N evaluations for per-stage timing (0: off)")
+		flightRecs  = flag.Int("flight-records", 0, "per-job flight-recorder ring size (0: default 2048)")
 	)
 	flag.Parse()
 
@@ -55,6 +60,8 @@ func main() {
 		drainGrace: *drainGrace, pprofOn: *pprofOn,
 		maxQueue: *maxQueue, stallTimeout: *stallTO,
 		maxAttempts: *maxAttempts, jobDeadline: *jobDeadline,
+		logFormat: *logFormat, logLevel: *logLevel,
+		telemSample: *telemSample, flightRecs: *flightRecs,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oblxd:", err)
@@ -64,15 +71,20 @@ func main() {
 
 // daemonConfig carries the parsed flags into run.
 type daemonConfig struct {
-	addr, stateDir        string
-	workers               int
-	ckptEvery, progEvery  int
-	movesLimit            int
-	drainGrace            time.Duration
-	pprofOn               bool
+	addr, stateDir       string
+	workers              int
+	ckptEvery, progEvery int
+	movesLimit           int
+	drainGrace           time.Duration
+	pprofOn              bool
+
 	maxQueue, maxAttempts int
 	stallTimeout          time.Duration
 	jobDeadline           time.Duration
+
+	logFormat, logLevel string
+	telemSample         int
+	flightRecs          int
 }
 
 func run(cfg daemonConfig) error {
@@ -88,21 +100,35 @@ func run(cfg daemonConfig) error {
 	if cfg.stallTimeout < 0 || cfg.jobDeadline < 0 {
 		return fmt.Errorf("-stall-timeout and -job-deadline must be >= 0")
 	}
+	if cfg.telemSample < 0 || cfg.flightRecs < 0 {
+		return fmt.Errorf("-telemetry-sample and -flight-records must be >= 0")
+	}
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger, err := telemetry.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	// The Options convention is 0 → default, negative → off; the flag
+	// convention is 0 → off (nothing is "default off by surprise").
+	sample := cfg.telemSample
+	if sample == 0 {
+		sample = -1
+	}
 	mgr, err := server.New(server.Options{
-		StateDir:        cfg.stateDir,
-		Workers:         cfg.workers,
-		CheckpointEvery: cfg.ckptEvery,
-		ProgressEvery:   cfg.progEvery,
-		MaxMovesLimit:   cfg.movesLimit,
-		EnableProfiling: cfg.pprofOn,
-		Registry:        metrics.New(),
-		Logf:            logger.Printf,
-		MaxQueue:        cfg.maxQueue,
-		StallTimeout:    cfg.stallTimeout,
-		MaxAttempts:     cfg.maxAttempts,
-		JobDeadline:     cfg.jobDeadline,
+		StateDir:             cfg.stateDir,
+		Workers:              cfg.workers,
+		CheckpointEvery:      cfg.ckptEvery,
+		ProgressEvery:        cfg.progEvery,
+		MaxMovesLimit:        cfg.movesLimit,
+		EnableProfiling:      cfg.pprofOn,
+		Registry:             metrics.New(),
+		Logger:               logger,
+		TelemetrySampleEvery: sample,
+		FlightRecords:        cfg.flightRecs,
+		MaxQueue:             cfg.maxQueue,
+		StallTimeout:         cfg.stallTimeout,
+		MaxAttempts:          cfg.maxAttempts,
+		JobDeadline:          cfg.jobDeadline,
 	})
 	if err != nil {
 		return err
@@ -120,7 +146,7 @@ func run(cfg daemonConfig) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("oblxd: listening on %s (state-dir=%q)", cfg.addr, cfg.stateDir)
+		logger.Info("listening", "addr", cfg.addr, "state_dir", cfg.stateDir)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -132,17 +158,17 @@ func run(cfg daemonConfig) error {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("oblxd: shutting down — draining jobs (grace %s)", cfg.drainGrace)
+	logger.Info("shutting down, draining jobs", "grace", cfg.drainGrace)
 	grace, cancel := context.WithTimeout(context.Background(), cfg.drainGrace)
 	defer cancel()
 	// Drain the job manager first so in-flight anneals checkpoint; the
 	// HTTP server follows once event streams have terminated.
 	if err := mgr.Shutdown(grace); err != nil {
-		logger.Printf("oblxd: %v", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := srv.Shutdown(grace); err != nil {
 		srv.Close()
 	}
-	logger.Printf("oblxd: bye")
+	logger.Info("bye")
 	return nil
 }

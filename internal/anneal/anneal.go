@@ -114,7 +114,8 @@ type Move interface {
 }
 
 // TracePoint is a periodic snapshot for experiment instrumentation
-// (Fig. 2 uses the cost terms recorded along the run).
+// (Fig. 2 uses the cost terms recorded along the run) and the flight
+// recorder's raw material.
 type TracePoint struct {
 	Move     int
 	Temp     float64
@@ -122,6 +123,21 @@ type TracePoint struct {
 	BestCost float64
 	AccRate  float64
 	X        []float64 // copy of the current state
+
+	// MoveClass names the most recently proposed move class ("" before
+	// the first proposal of a run); Accepted and DCost report its
+	// outcome. Proposals rejected for a non-finite cost report
+	// Accepted=false with DCost 0 (the delta is meaningless).
+	MoveClass string
+	Accepted  bool
+	DCost     float64
+	// LamTarget is the modified-Lam trajectory's target acceptance ratio
+	// at this move; compare with AccRate to see whether the temperature
+	// controller is ahead of or behind schedule.
+	LamTarget float64
+	// Quality is a copy of the Hustin selector's per-class quality
+	// weights, indexed like the moves slice passed to Run.
+	Quality []float64
 }
 
 // Options tunes a Run. The zero value gives sensible defaults.
@@ -339,6 +355,23 @@ func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, er
 	froze := false
 	cancelled := false
 
+	// Last-proposal outcome, surfaced through TracePoint for the flight
+	// recorder.
+	var (
+		lastClass    string
+		lastAccepted bool
+		lastDCost    float64
+		target       float64
+	)
+	snap := func() TracePoint {
+		return TracePoint{
+			Move: mv, Temp: temp, Cost: curCost, BestCost: bestCost,
+			AccRate: accRate, X: append([]float64(nil), cur...),
+			MoveClass: lastClass, Accepted: lastAccepted, DCost: lastDCost,
+			LamTarget: target, Quality: sel.qualities(),
+		}
+	}
+
 	for ; mv < opt.MaxMoves; mv++ {
 		select {
 		case <-ctx.Done():
@@ -352,17 +385,16 @@ func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, er
 			mv > startMove && mv%opt.CheckpointEvery == 0 {
 			opt.OnCheckpoint(capture(mv))
 		}
+		progress := float64(mv) / float64(opt.MaxMoves)
+		target = lamTarget(progress)
 		if opt.Progress != nil && opt.ProgressEvery > 0 && mv%opt.ProgressEvery == 0 {
-			opt.Progress(TracePoint{
-				Move: mv, Temp: temp, Cost: curCost, BestCost: bestCost,
-				AccRate: accRate, X: append([]float64(nil), cur...),
-			})
+			opt.Progress(snap())
 		}
 
-		progress := float64(mv) / float64(opt.MaxMoves)
-		target := lamTarget(progress)
-
 		mi := sel.pick(rng)
+		lastClass = moves[mi].Name()
+		lastAccepted = false
+		lastDCost = 0
 		copy(next, cur)
 		if !moves[mi].Propose(cur, next, rng) {
 			continue
@@ -405,6 +437,7 @@ func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, er
 		}
 		sel.feedback(mi, acc, d)
 		moves[mi].Feedback(acc, d)
+		lastAccepted, lastDCost = acc, d
 
 		if acc {
 			accepted++
@@ -447,10 +480,7 @@ func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, er
 		}
 
 		if opt.Trace != nil && mv%opt.TraceEvery == 0 {
-			opt.Trace(TracePoint{
-				Move: mv, Temp: temp, Cost: curCost, BestCost: bestCost,
-				AccRate: accRate, X: append([]float64(nil), cur...),
-			})
+			opt.Trace(snap())
 		}
 
 		// Stage bookkeeping for the freezing criterion.
@@ -606,6 +636,11 @@ func (s *selector) feedback(i int, accepted bool, dCost float64) {
 		s.totAcc[i]++
 		s.quality[i] += math.Abs(dCost)
 	}
+}
+
+// qualities returns a copy of the per-class quality weights.
+func (s *selector) qualities() []float64 {
+	return append([]float64(nil), s.quality...)
 }
 
 // stageReset decays qualities at each temperature stage so the mix can

@@ -1,0 +1,84 @@
+package astrx
+
+import (
+	"testing"
+
+	"astrx/internal/telemetry"
+)
+
+// TestWorkspaceStageClock verifies that an attached stage clock sees
+// every pipeline stage, that the timing does not perturb the cost, and
+// that the instrumented hot path still performs zero heap allocations —
+// even with sampling armed on every evaluation.
+func TestWorkspaceStageClock(t *testing.T) {
+	c := compileDeck(t, diffAmpDeck)
+	x := make([]float64, len(c.Vars()))
+	for i, v := range c.Vars() {
+		x[i] = v.Start()
+	}
+
+	// Baseline: no clock attached.
+	plain := c.NewWorkspace()
+	want := plain.CostDetail(x).Total
+
+	timer := telemetry.NewEvalTimer(1)
+	ws := c.NewWorkspace()
+	ws.SetClock(timer.NewClock())
+	const evals = 8
+	for i := 0; i < evals; i++ {
+		if got := ws.CostDetail(x).Total; got != want {
+			t.Fatalf("instrumented cost %v != plain cost %v", got, want)
+		}
+	}
+
+	bd := timer.Breakdown()
+	got := map[string]int64{}
+	for _, row := range bd {
+		got[row.Stage] = row.SampledEvals
+	}
+	for _, stage := range []string{"bias", "stamp", "lu", "moments", "fit", "specs"} {
+		if got[stage] != evals {
+			t.Errorf("stage %s sampled %d evals, want %d (breakdown %+v)", stage, got[stage], evals, bd)
+		}
+	}
+
+	// The annealer's promise: zero allocations per evaluation, clock or not.
+	ws.Cost(x) // warm any lazy scratch
+	if allocs := testing.AllocsPerRun(200, func() { ws.Cost(x) }); allocs != 0 {
+		t.Errorf("instrumented Cost allocates %.1f/eval, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { plain.Cost(x) }); allocs != 0 {
+		t.Errorf("plain Cost allocates %.1f/eval, want 0", allocs)
+	}
+
+	// Detach: sampling stops, costs unchanged.
+	ws.SetClock(nil)
+	before := timer.Breakdown()
+	if cost := ws.CostDetail(x).Total; cost != want {
+		t.Fatalf("detached cost %v != %v", cost, want)
+	}
+	after := timer.Breakdown()
+	for i := range before {
+		if after[i].SampledEvals != before[i].SampledEvals {
+			t.Errorf("detached workspace still sampled stage %s", after[i].Stage)
+		}
+	}
+}
+
+// TestWorkspaceStageClockSampling checks the 1-in-N cadence end to end
+// through the workspace.
+func TestWorkspaceStageClockSampling(t *testing.T) {
+	c := compileDeck(t, dividerDeck)
+	x := []float64{1000, 0.5}
+	timer := telemetry.NewEvalTimer(4)
+	ws := c.NewWorkspace()
+	ws.SetClock(timer.NewClock())
+	for i := 0; i < 40; i++ {
+		ws.CostDetail(x)
+	}
+	for _, row := range timer.Breakdown() {
+		if row.SampledEvals != 10 {
+			t.Errorf("stage %s sampled %d evals, want 10", row.Stage, row.SampledEvals)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"astrx/internal/expr"
 	"astrx/internal/linalg"
 	"astrx/internal/mna"
+	"astrx/internal/telemetry"
 )
 
 // EvalWorkspace evaluates the compiled cost function by replaying the
@@ -55,6 +56,11 @@ type EvalWorkspace struct {
 
 	valEnv  wsValEnv
 	specEnv wsSpecEnv
+
+	// clock samples per-stage wall time for the cost pipeline. nil (the
+	// default) keeps every instrumentation site a single pointer check;
+	// even an armed clock allocates nothing (telemetry.Clock).
+	clock *telemetry.Clock
 
 	dc DCProblem
 }
@@ -114,6 +120,11 @@ func (c *Compiled) Workspace() *EvalWorkspace {
 	}
 	return c.ws
 }
+
+// SetClock attaches a sampled per-stage timer to this workspace's cost
+// evaluations (nil detaches). The clock must not be shared with another
+// workspace; obtain one per workspace from a shared telemetry.EvalTimer.
+func (ws *EvalWorkspace) SetClock(c *telemetry.Clock) { ws.clock = c }
 
 // Err returns the first fatal problem of the last evaluation (nil if it
 // completed).
@@ -247,6 +258,7 @@ func (ws *EvalWorkspace) run(x []float64, full bool) {
 		ws.err = err
 		return
 	}
+	ws.clock.Mark(telemetry.StageBias)
 	if !full {
 		return
 	}
@@ -267,6 +279,7 @@ func (ws *EvalWorkspace) run(x []float64, full bool) {
 		}
 		ws.specVals[i] = v
 	}
+	ws.clock.Mark(telemetry.StageSpecs)
 }
 
 // geometry is the workspace counterpart of EvalState.geometry.
@@ -487,9 +500,11 @@ func (ws *EvalWorkspace) evalJig(jp *jigPlan, jw *jigWS) error {
 			}
 		}
 	}
+	ws.clock.Mark(telemetry.StageStamp)
 	if err := jw.eng.Refactor(); err != nil {
 		return fmt.Errorf("astrx: jig %s: %w", jp.name, err)
 	}
+	ws.clock.Mark(telemetry.StageLU)
 	for i := range jp.tfs {
 		tp := &jp.tfs[i]
 		if tp.err != nil {
@@ -497,6 +512,7 @@ func (ws *EvalWorkspace) evalJig(jp *jigPlan, jw *jigWS) error {
 		}
 		mu := jw.mu[:2*tp.q]
 		jw.eng.MomentsInto(mu, tp.b, tp.ip, tp.in)
+		ws.clock.Mark(telemetry.StageMoments)
 		ws.fit.FitMomentsInto(&ws.tfs[tp.tfIdx], mu, tp.q)
 		// An unstable winner means no stable order reproduced the moments
 		// (awe.ErrUnstable). The model is still measured — often the RHP
@@ -507,6 +523,7 @@ func (ws *EvalWorkspace) evalJig(jp *jigPlan, jw *jigWS) error {
 		if tf := &ws.tfs[tp.tfIdx]; tf.Order > 0 && !tf.Stable() {
 			ws.unstable++
 		}
+		ws.clock.Mark(telemetry.StageFit)
 	}
 	return nil
 }
@@ -520,8 +537,11 @@ func (ws *EvalWorkspace) Cost(x []float64) float64 {
 // cost, updating the compiled problem's adaptive-weight statistics
 // exactly as Compiled.CostDetail does.
 func (ws *EvalWorkspace) CostDetail(x []float64) CostBreakdown {
+	ws.clock.Begin()
 	ws.run(x, true)
-	return ws.costFromRun()
+	out := ws.costFromRun()
+	ws.clock.End()
+	return out
 }
 
 // costFromRun mirrors CostFromState's arithmetic over the workspace

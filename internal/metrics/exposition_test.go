@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTypeBeforeFirstSample audits the exposition ordering guarantee:
+// for every family, the # TYPE line must appear before the family's
+// first sample, including families whose labeled instances are
+// registered lazily after other families already emitted samples (the
+// oblxd_jobs_finished_total pattern).
+func TestTypeBeforeFirstSample(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c_seconds", []float64{0.1, 1}).Observe(0.5)
+	r.GaugeFunc("d", func() float64 { return 2 })
+	// Lazy labeled registrations, interleaved across families.
+	r.Counter("a_total", "state", "done").Inc()
+	r.Counter("e_total", "kind", "x").Add(3)
+	r.Counter("a_total", "state", "failed").Inc()
+	r.SetHelp("a_total", "a help")
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typeSeen := map[string]bool{}
+	for i, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if typeSeen[name] {
+				t.Errorf("line %d: duplicate # TYPE for %s", i+1, name)
+			}
+			typeSeen[name] = true
+			continue
+		}
+		// A sample line: name{labels} value or name value. The family is
+		// the metric name with histogram suffixes stripped.
+		name := line
+		if j := strings.IndexAny(name, "{ "); j >= 0 {
+			name = name[:j]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(name, suf); fam != name && typeSeen[fam] {
+				name = fam
+				break
+			}
+		}
+		if !typeSeen[name] {
+			t.Errorf("line %d: sample %q emitted before its # TYPE", i+1, line)
+		}
+	}
+	for _, fam := range []string{"a_total", "b", "c_seconds", "d", "e_total"} {
+		if !typeSeen[fam] {
+			t.Errorf("family %s has no # TYPE line", fam)
+		}
+	}
+}
+
+// TestHelpEscaping checks that newlines and backslashes in HELP text
+// cannot corrupt the exposition stream.
+func TestHelpEscaping(t *testing.T) {
+	r := New()
+	r.Counter("x_total").Inc()
+	r.SetHelp("x_total", "line one\nline two with \\ backslash")
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if want := `# HELP x_total line one\nline two with \\ backslash`; !strings.Contains(out, want) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "x_total") {
+			t.Errorf("stray exposition line %q (HELP newline leaked?)", line)
+		}
+	}
+}
+
+// TestScrapeDuringRegistration races WriteText against lazy metric
+// registration in existing families — the scrape path must snapshot the
+// instance maps under the registry lock (run with -race).
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := New()
+	r.Counter("jobs_total", "state", "queued").Inc()
+	r.Histogram("lat_seconds", []float64{0.1, 1}, "stage", "lu").Observe(0.2)
+	var readers, writer sync.WaitGroup
+	stop := make(chan struct{})
+	states := []string{"running", "done", "failed", "poisoned", "cancelled"}
+	stages := []string{"bias", "stamp", "moments", "fit", "specs"}
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Counter("jobs_total", "state", states[i%len(states)]).Inc()
+				r.Histogram("lat_seconds", []float64{0.1, 1}, "stage", stages[i%len(stages)]).Observe(0.05)
+				r.GaugeFunc("depth", func() float64 { return float64(i) })
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				var buf bytes.Buffer
+				if err := r.WriteText(&buf); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}

@@ -251,6 +251,13 @@ func (r *Registry) SetHelp(name, help string) {
 	}
 }
 
+// escapeHelp escapes backslashes and newlines in # HELP text per the
+// exposition format; an unescaped newline would split the comment and
+// corrupt the sample that follows it.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
 // fmtFloat renders a float the way Prometheus expects.
 func fmtFloat(v float64) string {
 	switch {
@@ -266,35 +273,46 @@ func fmtFloat(v float64) string {
 // format (version 0.0.4), families in registration order.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
-	// Snapshot family structure under the lock; metric reads are
-	// individually atomic/locked.
+	// Snapshot the family structure AND the instance list under the lock:
+	// the maps may gain new entries from concurrent registrations while we
+	// write, so reading f.byKey after unlocking would race. Metric value
+	// reads are individually atomic/locked and happen outside the lock.
+	type inst struct {
+		key string
+		m   any
+	}
 	type fam struct {
-		*family
-		keys []string
+		name  string
+		kind  metricKind
+		help  string
+		insts []inst
 	}
 	fams := make([]fam, 0, len(r.order))
 	for _, name := range r.order {
 		f := r.families[name]
-		fams = append(fams, fam{family: f, keys: append([]string(nil), f.order...)})
+		sf := fam{name: f.name, kind: f.kind, help: f.help, insts: make([]inst, 0, len(f.order))}
+		for _, key := range f.order {
+			if m, ok := f.byKey[key]; ok {
+				sf.insts = append(sf.insts, inst{key: key, m: m})
+			}
+		}
+		fams = append(fams, sf)
 	}
 	r.mu.Unlock()
 
 	for _, f := range fams {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		for _, key := range f.keys {
-			m, ok := f.byKey[key]
-			if !ok {
-				continue
-			}
+		for _, in := range f.insts {
+			key := in.key
 			var err error
-			switch v := m.(type) {
+			switch v := in.m.(type) {
 			case *Counter:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, key, v.Value())
 			case *Gauge:

@@ -29,6 +29,7 @@ import (
 	"astrx/internal/dcsolve"
 	"astrx/internal/faults"
 	"astrx/internal/netlist"
+	"astrx/internal/telemetry"
 )
 
 // Options tunes a synthesis run.
@@ -74,6 +75,13 @@ type Options struct {
 	// test harness for the recovery machinery. Production runs leave it
 	// nil (a nil injector is inert).
 	Faults *faults.Injector
+
+	// StageTimer, when non-nil, receives sampled per-stage timings of
+	// the compiled cost pipeline (stamp → LU → moments → fit → specs).
+	// One timer may be shared across RunBest's parallel runs: each run
+	// attaches its own clock. A nil timer keeps the hot path
+	// uninstrumented.
+	StageTimer *telemetry.EvalTimer
 }
 
 func (o *Options) defaults() {
@@ -110,6 +118,44 @@ type ProgressEvent struct {
 	// SpecVals are the measured spec values at the current point (nil
 	// when the point fails to evaluate).
 	SpecVals map[string]float64 `json:"spec_vals,omitempty"`
+
+	// Flight-recorder fields (see telemetry.MoveRecord): the most recent
+	// proposal's class and outcome, the Lam controller's target
+	// acceptance ratio, and the Hustin selector's per-class quality
+	// weights at this point of the run.
+	MoveClass string             `json:"move_class,omitempty"`
+	Accepted  bool               `json:"accepted,omitempty"`
+	DCost     float64            `json:"dcost,omitempty"`
+	LamTarget float64            `json:"lam_target,omitempty"`
+	Hustin    map[string]float64 `json:"hustin,omitempty"`
+	// WorstSpec names the most-violated (or least-satisfied) non-objective
+	// spec at the current point, with its violation in normalized "good to
+	// bad" units (positive ⇒ failing). Empty when nothing measured.
+	WorstSpec  string  `json:"worst_spec,omitempty"`
+	WorstSpecU float64 `json:"worst_spec_u,omitempty"`
+}
+
+// FlightRecord projects the event into the telemetry package's
+// flight-recorder record — the daemon's ring buffer and oblx -trace-out
+// both store this shape.
+func (ev ProgressEvent) FlightRecord() telemetry.MoveRecord {
+	return telemetry.MoveRecord{
+		Run:         ev.Run,
+		Move:        ev.Move,
+		MoveClass:   ev.MoveClass,
+		Accepted:    ev.Accepted,
+		DCost:       ev.DCost,
+		Temp:        ev.Temp,
+		LamTarget:   ev.LamTarget,
+		AccRatio:    ev.AcceptRatio,
+		Cost:        ev.Cost,
+		BestCost:    ev.BestCost,
+		Hustin:      ev.Hustin,
+		MaxKCLError: ev.MaxKCLError,
+		WorstSpec:   ev.WorstSpec,
+		WorstSpecU:  ev.WorstSpecU,
+		Evals:       int64(ev.Evals),
+	}
 }
 
 // ProgressFunc receives streaming progress from a running synthesis.
@@ -288,12 +334,22 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 	}
 	p := &problem{c: c, inj: opt.Faults}
 	vars := c.Vars()
+	if opt.StageTimer != nil {
+		// Each Run compiles its own problem, so the shared workspace is
+		// single-goroutine here; the clock funnels into the (atomic)
+		// shared timer.
+		c.Workspace().SetClock(opt.StageTimer.NewClock())
+	}
 
 	moves := []anneal.Move{
 		anneal.NewRandomStep("random", vars, 0.3),
 		anneal.NewAllStep("all-cont", vars),
 		newtonMove(ctx, c, opt.Faults, "newton-full", 12),
 		newtonMove(ctx, c, opt.Faults, "newton-step", 1),
+	}
+	moveNames := make([]string, len(moves))
+	for i, m := range moves {
+		moveNames[i] = m.Name()
 	}
 
 	var baseDur time.Duration
@@ -353,10 +409,19 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 				Move: tp.Move, MaxMoves: opt.MaxMoves, Evals: p.evals,
 				Seed: opt.Seed, Temp: tp.Temp, AcceptRatio: tp.AccRate,
 				Cost: tp.Cost, BestCost: tp.BestCost,
+				MoveClass: tp.MoveClass, Accepted: tp.Accepted,
+				DCost: tp.DCost, LamTarget: tp.LamTarget,
+			}
+			if len(tp.Quality) == len(moveNames) {
+				ev.Hustin = make(map[string]float64, len(moveNames))
+				for i, q := range tp.Quality {
+					ev.Hustin[moveNames[i]] = q
+				}
 			}
 			if st := c.Evaluate(tp.X); st.Err == nil {
 				ev.MaxKCLError = st.MaxKCLError()
 				ev.SpecVals = finiteSpecVals(st.SpecVals)
+				ev.WorstSpec, ev.WorstSpecU = worstSpec(c, st)
 			}
 			opt.Progress(ev)
 		}
@@ -435,6 +500,30 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 		CheckpointErr: ckErr,
 	}
 	return out, nil
+}
+
+// worstSpec finds the most-violated (or, for a fully passing design, the
+// least-satisfied) finite non-objective spec, in Normalize's good→bad
+// units: positive means failing. Specs that failed to measure are
+// skipped — SpecVals going missing already signals that.
+func worstSpec(c *astrx.Compiled, st *astrx.EvalState) (string, float64) {
+	name, worst := "", math.Inf(-1)
+	for _, s := range c.Deck.Specs {
+		if s.Objective {
+			continue
+		}
+		v, ok := st.SpecVals[s.Name]
+		if !ok || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if u := astrx.Normalize(s, v); u > worst {
+			name, worst = s.Name, u
+		}
+	}
+	if name == "" {
+		return "", 0
+	}
+	return name, worst
 }
 
 // polishDC runs a full Newton solve on the node voltages of x. A

@@ -46,7 +46,7 @@ func TestChaosTornWritesNeverLoseJobs(t *testing.T) {
 	inj := faults.New(1234, faults.Rates{})
 	ffs := inj.FS(durable.OS, faults.FSRates{ShortWrite: 0.35, RenameTorn: 0.35})
 
-	m1, err := New(Options{StateDir: dir, Workers: 2, ProgressEvery: 200, FS: ffs, Logf: t.Logf})
+	m1, err := New(Options{StateDir: dir, Workers: 2, ProgressEvery: 200, FS: ffs, Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestChaosTornWritesNeverLoseJobs(t *testing.T) {
 // resume from garbage.
 func TestChaosCorruptCheckpointRestartsFromScratch(t *testing.T) {
 	dir := t.TempDir()
-	m1, err := New(Options{StateDir: dir, Workers: 1, CheckpointEvery: 200, ProgressEvery: 100, Logf: t.Logf})
+	m1, err := New(Options{StateDir: dir, Workers: 1, CheckpointEvery: 200, ProgressEvery: 100, Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

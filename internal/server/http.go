@@ -48,18 +48,46 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // withRequestID tags every request and response with an X-Request-Id —
-// honoring the client's when present, minting one otherwise — so an API
-// error can be correlated with the daemon's job log lines.
+// the client's when present, else the trace ID of a W3C traceparent
+// header, else a minted one — so an API error can be correlated with
+// the daemon's job log lines (and with an upstream tracing system).
 func withRequestID(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
 		if id == "" {
-			id = newID()
-			r.Header.Set("X-Request-Id", id)
+			id = traceparentID(r.Header.Get("Traceparent"))
 		}
+		if id == "" {
+			id = newID()
+		}
+		r.Header.Set("X-Request-Id", id)
 		w.Header().Set("X-Request-Id", id)
 		h.ServeHTTP(w, r)
 	})
+}
+
+// traceparentID extracts the 32-hex-digit trace ID from a W3C
+// traceparent header ("00-<trace-id>-<parent-id>-<flags>"), returning ""
+// for anything malformed or the all-zero (invalid) trace ID.
+func traceparentID(tp string) string {
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return ""
+	}
+	zero := true
+	for _, c := range parts[1] {
+		switch {
+		case c >= '1' && c <= '9' || c >= 'a' && c <= 'f':
+			zero = false
+		case c == '0':
+		default:
+			return "" // not lowercase hex
+		}
+	}
+	if zero {
+		return ""
+	}
+	return parts[1]
 }
 
 // Handler returns the service's HTTP API:
@@ -69,6 +97,8 @@ func withRequestID(h http.Handler) http.Handler {
 //	GET    /v1/jobs/{id}        job status (state, best cost, latest spec values)
 //	GET    /v1/jobs/{id}/events SSE stream of state transitions + annealing progress
 //	GET    /v1/jobs/{id}/result final design + verification numbers (409 until terminal)
+//	GET    /v1/jobs/{id}/telemetry       stage-timing breakdown + flight-recorder summary
+//	GET    /v1/jobs/{id}/telemetry/moves flight-recorder ring as JSONL, oldest first
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /debug/metrics       Prometheus text exposition
 //	GET    /debug/pprof/        runtime profiles (only with Options.EnableProfiling)
@@ -83,6 +113,8 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", m.handleTelemetry)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry/moves", m.handleTelemetryMoves)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
 	mux.Handle("GET /debug/metrics", m.reg.Handler())
 	if m.opt.EnableProfiling {

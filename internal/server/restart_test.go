@@ -2,9 +2,11 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,6 +17,25 @@ import (
 
 	"astrx/internal/durable"
 )
+
+// lockedBuffer is a mutex-guarded bytes.Buffer: a slog sink that late
+// goroutines may still write to while the test reads it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // TestRestartResume is the daemon-death drill from the issue: start a
 // manager with a state directory, submit a job, watch at least three
@@ -27,20 +48,16 @@ func TestRestartResume(t *testing.T) {
 	stateDir := t.TempDir()
 
 	// ---- first incarnation ----
-	var logMu sync.Mutex
-	var logs []string
-	logf := func(format string, args ...any) {
-		logMu.Lock()
-		logs = append(logs, strings.TrimSpace(strings.ReplaceAll(format, "%v", "")))
-		logMu.Unlock()
-		t.Logf(format, args...)
-	}
+	// Capture structured log output so the test can assert on the
+	// recovery lines of the second incarnation.
+	logBuf := &lockedBuffer{}
+	logger := slog.New(slog.NewTextHandler(logBuf, nil))
 	m1, err := New(Options{
 		StateDir:        stateDir,
 		Workers:         1,
 		CheckpointEvery: 200,
 		ProgressEvery:   100,
-		Logf:            logf,
+		Logger:          logger,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +114,7 @@ func TestRestartResume(t *testing.T) {
 		Workers:         1,
 		CheckpointEvery: 200,
 		ProgressEvery:   100,
-		Logf:            logf,
+		Logger:          logger,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -116,17 +133,11 @@ func TestRestartResume(t *testing.T) {
 	}
 
 	// It must RESUME from the checkpoint, not restart: the recovery log
-	// announces the resume move.
-	logMu.Lock()
-	resumed := false
-	for _, l := range logs {
-		if strings.Contains(l, "will resume from move") {
-			resumed = true
-		}
-	}
-	logMu.Unlock()
-	if !resumed {
+	// announces the resume move, tagged with the job ID.
+	if out := logBuf.String(); !strings.Contains(out, "will resume from move") {
 		t.Error("second incarnation did not resume from the checkpoint")
+	} else if !strings.Contains(out, "job="+id) {
+		t.Errorf("recovery log lines are not tagged with job=%s", id)
 	}
 
 	// Wait for completion and fetch the result over HTTP.

@@ -25,6 +25,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
 	"astrx/internal/retry"
+	"astrx/internal/telemetry"
 	"astrx/internal/verify"
 )
 
@@ -173,11 +175,17 @@ type Job struct {
 	// each failed one died of.
 	attempts int
 	history  []JobFailure
-	// requestID is the X-Request-Id of the submitting HTTP request,
-	// echoed in this job's log lines for correlation.
+	// requestID is the X-Request-Id (or traceparent trace ID) of the
+	// submitting HTTP request, echoed in this job's log lines for
+	// correlation. Persisted with the record, so the correlation
+	// survives a daemon restart.
 	requestID string
 	// resume holds the checkpoint to continue from, set during recovery.
 	resume *oblx.Checkpoint
+	// telem holds the job's flight recorder + stage timer, created on
+	// the first run attempt; nil for jobs that never ran under this
+	// daemon incarnation.
+	telem *jobTelemetry
 }
 
 // State returns the job's current lifecycle state.
@@ -319,8 +327,17 @@ type Options struct {
 	// sampling, so they are opt-in for diagnosis sessions only. See
 	// docs/profiling.md.
 	EnableProfiling bool
-	// Logf receives operational log lines (nil → discarded).
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs (nil → discarded).
+	// Job-scoped lines carry job/req/attempt/state attributes so one
+	// job's lifecycle is greppable by a single ID across restarts.
+	Logger *slog.Logger
+	// TelemetrySampleEvery is the 1-in-N sampling cadence for per-stage
+	// eval timing (0 → 64; negative → stage timing off). See
+	// docs/observability.md.
+	TelemetrySampleEvery int
+	// FlightRecords is the per-job flight-recorder ring capacity
+	// (0 → telemetry.DefaultFlightRecords).
+	FlightRecords int
 
 	// MaxQueue bounds the number of jobs waiting for a worker; Submit
 	// returns ErrQueueFull (HTTP 429 + Retry-After) beyond it. 0 → the
@@ -351,6 +368,7 @@ type Manager struct {
 	reg   *metrics.Registry
 	fsys  durable.FS
 	rpol  retry.Policy
+	log   *slog.Logger
 	start time.Time
 
 	mu       sync.Mutex
@@ -377,6 +395,9 @@ type Manager struct {
 	mPersistErr *metrics.Counter
 	mQuarantine *metrics.Counter
 	mUnstable   *metrics.Counter
+	// mStage holds the per-stage eval-timing histograms, indexed by
+	// telemetry.Stage; job timers feed them through OnSample.
+	mStage [telemetry.NumStages]*metrics.Histogram
 }
 
 // New creates a manager, recovers persisted jobs from the state
@@ -391,8 +412,9 @@ func New(opt Options) (*Manager, error) {
 	if opt.ProgressEvery <= 0 {
 		opt.ProgressEvery = 500
 	}
-	if opt.Logf == nil {
-		opt.Logf = func(string, ...any) {}
+	lg := opt.Logger
+	if lg == nil {
+		lg = telemetry.DiscardLogger()
 	}
 	reg := opt.Registry
 	if reg == nil {
@@ -414,6 +436,7 @@ func New(opt Options) (*Manager, error) {
 		reg:   reg,
 		fsys:  fsys,
 		rpol:  rpol,
+		log:   lg,
 		start: time.Now(),
 		jobs:  make(map[string]*Job),
 	}
@@ -461,6 +484,15 @@ func New(opt Options) (*Manager, error) {
 		return 0
 	})
 	reg.SetHelp("oblxd_degraded", "1 while the state dir is unwritable and the daemon runs in-memory")
+	for s := 0; s < telemetry.NumStages; s++ {
+		m.mStage[s] = reg.Histogram("oblxd_eval_stage_seconds", telemetry.StageBuckets,
+			"stage", telemetry.Stage(s).String())
+	}
+	reg.SetHelp("oblxd_eval_stage_seconds", "sampled wall time per cost-evaluation pipeline stage")
+	reg.Gauge("oblxd_build_info", "version", buildVersion(), "goversion", runtime.Version()).Set(1)
+	reg.SetHelp("oblxd_build_info", "build metadata; value is always 1")
+	reg.GaugeFunc("oblxd_up", func() float64 { return float64(m.start.Unix()) })
+	reg.SetHelp("oblxd_up", "daemon start time, unix seconds")
 
 	if opt.StateDir != "" {
 		if err := m.recover(); err != nil {
@@ -553,7 +585,7 @@ func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID 
 	// Persist the queued record before the job becomes runnable, so a
 	// worker can never transition a job that has no record on disk.
 	if err := m.persist(j); err != nil {
-		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		m.jlog(j).Error("persist failed", "err", err)
 	}
 
 	m.mu.Lock()
@@ -562,17 +594,21 @@ func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID 
 	m.mu.Unlock()
 
 	m.mSubmitted.Inc()
-	m.opt.Logf("oblxd: job %s queued (moves=%d runs=%d seed=%d)%s",
-		j.ID, opt.MaxMoves, opt.Runs, opt.Seed, reqSuffix(requestID))
+	m.jlog(j).Info("job queued", "state", StateQueued,
+		"moves", opt.MaxMoves, "runs", opt.Runs, "seed", opt.Seed)
 	return j, nil
 }
 
-// reqSuffix formats the request-ID tail of a job log line.
-func reqSuffix(requestID string) string {
-	if requestID == "" {
-		return ""
+// jlog returns the manager logger scoped to one job, carrying the
+// job/req correlation attributes every lifecycle line shares. requestID
+// is immutable after the job is published, so reading it unlocked is
+// safe.
+func (m *Manager) jlog(j *Job) *slog.Logger {
+	lg := m.log.With("job", j.ID)
+	if j.requestID != "" {
+		lg = lg.With("req", j.requestID)
 	}
-	return " req=" + requestID
+	return lg
 }
 
 // Get returns a job by ID, or nil.
@@ -632,7 +668,7 @@ func (m *Manager) Cancel(id string) error {
 		j.publishLocked(Event{Type: "state", State: StateCancelled})
 		j.mu.Unlock()
 		if err := m.persist(j); err != nil {
-			m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+			m.jlog(j).Error("persist failed", "err", err)
 		}
 	default: // running
 		j.userCancelled = true
@@ -642,7 +678,7 @@ func (m *Manager) Cancel(id string) error {
 			cancel()
 		}
 	}
-	m.opt.Logf("oblxd: job %s cancel requested", id)
+	m.jlog(j).Info("cancel requested")
 	return nil
 }
 
@@ -733,9 +769,9 @@ func (m *Manager) runJob(j *Job) {
 	j.publishLocked(Event{Type: "state", State: StateRunning})
 	j.mu.Unlock()
 	if err := m.persist(j); err != nil {
-		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		m.jlog(j).Error("persist failed", "err", err)
 	}
-	m.opt.Logf("oblxd: job %s running (attempt %d)%s", j.ID, attempt, reqSuffix(j.requestID))
+	m.jlog(j).Info("job running", "state", StateRunning, "attempt", attempt)
 
 	deck, err := netlist.Parse(j.Deck)
 	if err != nil { // validated at submit; only possible via disk corruption
@@ -753,13 +789,16 @@ func (m *Manager) runJob(j *Job) {
 	lastEvals := make(map[int]int)
 	lastTime := make(map[int]time.Time)
 
+	telem := m.jobTelem(j)
 	opt := oblx.Options{
 		Seed:          j.Options.Seed,
 		MaxMoves:      j.Options.MaxMoves,
 		NoFreeze:      j.Options.NoFreeze,
 		ProgressEvery: progEvery,
+		StageTimer:    telem.timer,
 		Progress: func(ev oblx.ProgressEvent) {
 			now := time.Now()
+			telem.flight.Record(ev.FlightRecord())
 			progMu.Lock()
 			if prev, ok := lastEvals[ev.Run]; ok && ev.Evals > prev {
 				m.mEvals.Add(int64(ev.Evals - prev))
@@ -845,8 +884,7 @@ func (m *Manager) watchdog() {
 			j.mu.Unlock()
 			if stalled {
 				m.mStalls.Inc()
-				m.opt.Logf("oblxd: job %s stalled (no progress within %s), killing%s",
-					j.ID, m.opt.StallTimeout, reqSuffix(j.requestID))
+				m.jlog(j).Warn("job stalled, killing", "stall_timeout", m.opt.StallTimeout)
 				cancel()
 			}
 		}
@@ -884,9 +922,9 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 		j.started = time.Time{}
 		j.mu.Unlock()
 		if err := m.persist(j); err != nil {
-			m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+			m.jlog(j).Error("persist failed", "err", err)
 		}
-		m.opt.Logf("oblxd: job %s checkpointed for restart", j.ID)
+		m.jlog(j).Info("job checkpointed for restart", "state", StateQueued)
 		return
 	}
 
@@ -897,7 +935,9 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 	case deadlineHit && !userCancelled:
 		// The per-job wall-clock deadline fired; the partial best-so-far
 		// design is kept, but the job is a terminal failure, not a
-		// cancellation the user asked for.
+		// cancellation the user asked for. The flight recorder's last
+		// moves go to disk for the post-mortem.
+		m.snapshotFlight(j, fmt.Sprintf("deadline %s exceeded", m.opt.JobDeadline))
 		state = StateFailed
 		result.Error = fmt.Sprintf("server: job deadline %s exceeded", m.opt.JobDeadline)
 	case err != nil:
@@ -914,7 +954,7 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 			m.mUnstable.Add(int64(n))
 		}
 		if res.CheckpointErr != nil {
-			m.opt.Logf("oblxd: job %s checkpoint writes failed: %v", j.ID, res.CheckpointErr)
+			m.jlog(j).Warn("checkpoint writes failed", "err", res.CheckpointErr)
 		}
 		// Reference-simulate the final design. A cancelled job's
 		// half-annealed point may fail to verify; that is a caveat on
@@ -963,15 +1003,24 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 		m.mJobSecs.Observe(now.Sub(started).Seconds())
 	}
 	if err := m.persist(j); err != nil {
-		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		m.jlog(j).Error("persist failed", "err", err)
 	}
-	m.opt.Logf("oblxd: job %s %s%s", j.ID, state, reqSuffix(j.requestID))
+	if result.Error != "" {
+		m.jlog(j).Warn("job finished", "state", state, "err", result.Error)
+	} else {
+		m.jlog(j).Info("job finished", "state", state)
+	}
 }
 
 // retryOrPoison handles a watchdog-killed run: record the failure,
 // requeue with exponential backoff while attempts remain, and poison the
 // job — terminally, with its history attached — once they run out.
 func (m *Manager) retryOrPoison(j *Job, cause string) {
+	// Dump the flight recorder first: whatever the annealer was doing in
+	// its last N moves is the evidence the post-mortem needs, and the
+	// next attempt keeps appending to the same ring.
+	m.snapshotFlight(j, cause)
+
 	j.mu.Lock()
 	j.attempts++
 	attempt := j.attempts
@@ -998,9 +1047,9 @@ func (m *Manager) retryOrPoison(j *Job, cause string) {
 			m.mJobSecs.Observe(time.Since(started).Seconds())
 		}
 		if err := m.persist(j); err != nil {
-			m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+			m.jlog(j).Error("persist failed", "err", err)
 		}
-		m.opt.Logf("oblxd: job %s poisoned after %d attempts%s", j.ID, attempt, reqSuffix(j.requestID))
+		m.jlog(j).Error("job poisoned", "state", StatePoisoned, "attempt", attempt, "cause", cause)
 		return
 	}
 
@@ -1018,11 +1067,11 @@ func (m *Manager) retryOrPoison(j *Job, cause string) {
 
 	m.mRetries.Inc()
 	if err := m.persist(j); err != nil {
-		m.opt.Logf("oblxd: persist %s: %v", j.ID, err)
+		m.jlog(j).Error("persist failed", "err", err)
 	}
 	delay := m.rpol.Backoff(attempt)
-	m.opt.Logf("oblxd: job %s requeued in %s (attempt %d/%d)%s",
-		j.ID, delay.Round(time.Millisecond), attempt, m.rpol.MaxAttempts, reqSuffix(j.requestID))
+	m.jlog(j).Warn("job requeued", "state", StateQueued, "backoff", delay.Round(time.Millisecond),
+		"attempt", attempt, "max_attempts", m.rpol.MaxAttempts, "cause", cause)
 	time.AfterFunc(delay, func() { m.enqueue(j) })
 }
 

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -66,6 +67,22 @@ vi2 inn 0 0
 .region xamp.m2 sat
 `
 
+// tWriter adapts t.Logf to io.Writer so slog output lands in the test
+// log. Writes after the test completes are dropped rather than panicking
+// (late goroutines — backoff timers, watchdog ticks — may still log).
+type tWriter struct{ t *testing.T }
+
+func (w tWriter) Write(p []byte) (int, error) {
+	defer func() { recover() }()
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// testLogger returns a debug-level structured logger writing into t.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(tWriter{t: t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
 // newTestManager starts a manager and registers cleanup-shutdown.
 func newTestManager(t *testing.T, opt Options) *Manager {
 	t.Helper()
@@ -75,7 +92,7 @@ func newTestManager(t *testing.T, opt Options) *Manager {
 	if opt.ProgressEvery == 0 {
 		opt.ProgressEvery = 200
 	}
-	opt.Logf = t.Logf
+	opt.Logger = testLogger(t)
 	m, err := New(opt)
 	if err != nil {
 		t.Fatal(err)

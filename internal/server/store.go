@@ -38,6 +38,10 @@ type jobRecord struct {
 	// remaining attempts left under this one.
 	Attempts int          `json:"attempts,omitempty"`
 	History  []JobFailure `json:"history,omitempty"`
+	// RequestID keeps the submit-time correlation ID across restarts, so
+	// the whole lifecycle stays greppable by one ID. Optional, so
+	// version-2 records from before the field are still valid.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // jobRecordVersion 2 added the envelope seal and the supervision fields.
@@ -68,16 +72,17 @@ func (m *Manager) persist(j *Job) error {
 	}
 	j.mu.Lock()
 	rec := jobRecord{
-		Version:  jobRecordVersion,
-		ID:       j.ID,
-		Deck:     j.Deck,
-		Options:  j.Options,
-		Created:  j.Created,
-		State:    j.state,
-		Error:    j.err,
-		Result:   j.result,
-		Attempts: j.attempts,
-		History:  j.history,
+		Version:   jobRecordVersion,
+		ID:        j.ID,
+		Deck:      j.Deck,
+		Options:   j.Options,
+		Created:   j.Created,
+		State:     j.state,
+		Error:     j.err,
+		Result:    j.result,
+		Attempts:  j.attempts,
+		History:   j.history,
+		RequestID: j.requestID,
 	}
 	j.mu.Unlock()
 
@@ -101,7 +106,7 @@ func (m *Manager) noteStateDirError(err error) {
 	m.degraded = true
 	m.mu.Unlock()
 	if !was {
-		m.opt.Logf("oblxd: state dir unwritable, degrading to in-memory mode: %v", err)
+		m.log.Error("state dir unwritable, degrading to in-memory mode", "err", err)
 	}
 }
 
@@ -112,7 +117,7 @@ func (m *Manager) noteStateDirOK() {
 	m.degraded = false
 	m.mu.Unlock()
 	if was {
-		m.opt.Logf("oblxd: state dir writable again, leaving degraded mode")
+		m.log.Info("state dir writable again, leaving degraded mode")
 	}
 }
 
@@ -131,7 +136,7 @@ func (m *Manager) removeCheckpoint(j *Job, st State) {
 		return
 	}
 	if err := m.fsys.Remove(m.checkpointPath(j.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-		m.opt.Logf("oblxd: remove checkpoint %s: %v", j.ID, err)
+		m.jlog(j).Warn("remove checkpoint failed", "err", err)
 	}
 }
 
@@ -141,20 +146,21 @@ func (m *Manager) removeCheckpoint(j *Job, st State) {
 func (m *Manager) quarantine(name, reason string) {
 	qdir := filepath.Join(m.opt.StateDir, quarantineDir)
 	if err := m.fsys.MkdirAll(qdir, 0o755); err != nil {
-		m.opt.Logf("oblxd: fsck: cannot create %s: %v (leaving %s in place)", qdir, err, name)
+		m.log.Error("fsck: cannot create quarantine dir, leaving file in place",
+			"dir", qdir, "file", name, "err", err)
 		return
 	}
 	src := filepath.Join(m.opt.StateDir, name)
 	dst := filepath.Join(qdir, name)
 	if err := m.fsys.Rename(src, dst); err != nil {
-		m.opt.Logf("oblxd: fsck: cannot quarantine %s: %v", name, err)
+		m.log.Error("fsck: cannot quarantine file", "file", name, "err", err)
 		return
 	}
 	if err := m.fsys.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644); err != nil {
-		m.opt.Logf("oblxd: fsck: cannot record quarantine reason for %s: %v", name, err)
+		m.log.Error("fsck: cannot record quarantine reason", "file", name, "err", err)
 	}
 	m.mQuarantine.Inc()
-	m.opt.Logf("oblxd: fsck: quarantined %s: %s", name, reason)
+	m.log.Warn("fsck: quarantined file", "file", name, "reason", reason)
 }
 
 // recover is the startup fsck plus job recovery. Every job-*.json is
@@ -192,7 +198,7 @@ func (m *Manager) recover() error {
 			// Leftover from an atomic write the previous daemon never
 			// committed; the rename never happened, so nothing references it.
 			m.fsys.Remove(filepath.Join(m.opt.StateDir, name))
-			m.opt.Logf("oblxd: fsck: removed stale temp file %s", name)
+			m.log.Info("fsck: removed stale temp file", "file", name)
 			continue
 		case strings.HasPrefix(name, "job-") && strings.HasSuffix(name, ".ckpt"):
 			ckpts = append(ckpts, name)
@@ -211,16 +217,17 @@ func (m *Manager) recover() error {
 			continue
 		}
 		j := &Job{
-			ID:       rec.ID,
-			Deck:     rec.Deck,
-			Options:  rec.Options,
-			Created:  rec.Created,
-			state:    rec.State,
-			err:      rec.Error,
-			result:   rec.Result,
-			attempts: rec.Attempts,
-			history:  rec.History,
-			bestCost: math.NaN(),
+			ID:        rec.ID,
+			Deck:      rec.Deck,
+			Options:   rec.Options,
+			Created:   rec.Created,
+			state:     rec.State,
+			err:       rec.Error,
+			result:    rec.Result,
+			attempts:  rec.Attempts,
+			history:   rec.History,
+			requestID: rec.RequestID,
+			bestCost:  math.NaN(),
 		}
 		switch rec.State {
 		case StateDone, StateFailed, StateCancelled, StatePoisoned:
@@ -232,11 +239,13 @@ func (m *Manager) recover() error {
 			if ck, err := oblx.LoadCheckpointFS(m.fsys, m.checkpointPath(rec.ID)); err == nil {
 				if rec.Options.Runs <= 1 {
 					j.resume = ck
-					m.opt.Logf("oblxd: job %s will resume from move %d", rec.ID, ck.Anneal.Move)
+					// restart tests grep for "will resume from move" —
+					// keep the phrase in the message.
+					m.jlog(j).Info("job will resume from move", "move", ck.Anneal.Move)
 				}
 			} else if !errors.Is(err, fs.ErrNotExist) {
 				m.quarantine(ckName, fmt.Sprintf("unreadable checkpoint for job %s: %v", rec.ID, err))
-				m.opt.Logf("oblxd: job %s: checkpoint quarantined, restarting run from scratch", rec.ID)
+				m.jlog(j).Warn("checkpoint quarantined, restarting run from scratch")
 			}
 			requeue = append(requeue, j)
 		default:
@@ -257,7 +266,7 @@ func (m *Manager) recover() error {
 			m.quarantine(name, "orphan checkpoint: no job record for "+id)
 		case j.State().terminal():
 			m.fsys.Remove(filepath.Join(m.opt.StateDir, name))
-			m.opt.Logf("oblxd: fsck: removed checkpoint of terminal job %s", id)
+			m.log.Info("fsck: removed checkpoint of terminal job", "job", id)
 		}
 	}
 
@@ -267,7 +276,7 @@ func (m *Manager) recover() error {
 	})
 	m.queue = append(m.queue, requeue...)
 	if n := len(requeue); n > 0 {
-		m.opt.Logf("oblxd: recovered %d pending job(s) from %s", n, m.opt.StateDir)
+		m.log.Info("recovered pending jobs", "count", n, "dir", m.opt.StateDir)
 	}
 	return nil
 }

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultFlightRecords is the ring capacity used when a caller passes a
+// non-positive size to NewFlightRecorder.
+const DefaultFlightRecords = 2048
+
+// MoveRecord is one flight-recorder entry, captured from the annealer's
+// progress/trace stream. It is deliberately flat and JSON-friendly: the
+// JSONL dump of a crashed job should be greppable with standard tools.
+type MoveRecord struct {
+	Run       int     `json:"run,omitempty"`
+	Move      int     `json:"move"`
+	MoveClass string  `json:"move_class,omitempty"`
+	Accepted  bool    `json:"accepted"`
+	DCost     float64 `json:"dcost"`
+	Temp      float64 `json:"temp"`
+	LamTarget float64 `json:"lam_target"`
+	AccRatio  float64 `json:"acc_ratio"`
+	Cost      float64 `json:"cost"`
+	BestCost  float64 `json:"best_cost"`
+	// Hustin holds the selector's per-move-class quality weights at the
+	// time of the record.
+	Hustin map[string]float64 `json:"hustin,omitempty"`
+	// MaxKCLError is the largest KCL residual across nodes (the KCL
+	// penalty driver).
+	MaxKCLError float64 `json:"max_kcl_error,omitempty"`
+	// WorstSpec names the most-violated non-objective spec at this move
+	// and WorstSpecU its violation in normalized units (positive ⇒ failing).
+	WorstSpec  string  `json:"worst_spec,omitempty"`
+	WorstSpecU float64 `json:"worst_spec_u,omitempty"`
+	Evals      int64   `json:"evals,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring buffer of MoveRecords, safe for
+// one writer and any number of concurrent snapshot readers.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	recs  []MoveRecord
+	start int
+	n     int
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last `capacity`
+// records (DefaultFlightRecords if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightRecords
+	}
+	return &FlightRecorder{recs: make([]MoveRecord, capacity)}
+}
+
+// Record appends rec, evicting the oldest entry once the ring is full.
+func (r *FlightRecorder) Record(rec MoveRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.recs) {
+		r.recs[(r.start+r.n)%len(r.recs)] = rec
+		r.n++
+	} else {
+		r.recs[r.start] = rec
+		r.start = (r.start + 1) % len(r.recs)
+	}
+	r.total++
+}
+
+// Snapshot returns the buffered records oldest-first.
+func (r *FlightRecorder) Snapshot() []MoveRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MoveRecord, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.recs[(r.start+i)%len(r.recs)]
+	}
+	return out
+}
+
+// Len reports how many records are currently buffered.
+func (r *FlightRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total reports how many records were ever recorded, including evicted ones.
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap reports the ring capacity.
+func (r *FlightRecorder) Cap() int { return len(r.recs) }
+
+// FlightSnapshot is the durable post-mortem artifact written to the state
+// dir when the supervisor stalls, poisons, or deadline-kills a job, and
+// the payload served for jobs whose live telemetry is gone (restart).
+type FlightSnapshot struct {
+	Version       int              `json:"version"`
+	JobID         string           `json:"job_id,omitempty"`
+	Cause         string           `json:"cause,omitempty"`
+	Time          time.Time        `json:"time"`
+	Attempt       int              `json:"attempt,omitempty"`
+	SampleEvery   int              `json:"sample_every,omitempty"`
+	TotalRecorded uint64           `json:"total_recorded"`
+	Stages        []StageBreakdown `json:"stages,omitempty"`
+	Moves         []MoveRecord     `json:"moves"`
+}
+
+// FlightSnapshotVersion is the current FlightSnapshot schema version.
+const FlightSnapshotVersion = 1
+
+// DecodeFlightSnapshot parses a snapshot previously produced with
+// json.Marshal, rejecting payloads from a future schema.
+func DecodeFlightSnapshot(data []byte) (*FlightSnapshot, error) {
+	var snap FlightSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("flight snapshot: %w", err)
+	}
+	if snap.Version > FlightSnapshotVersion {
+		return nil, fmt.Errorf("flight snapshot: version %d is newer than supported %d", snap.Version, FlightSnapshotVersion)
+	}
+	return &snap, nil
+}
+
+// WriteJSONL writes one JSON object per line for each record, the flight
+// recorder's interchange format (served by /v1/jobs/{id}/telemetry/moves
+// and written by oblx -trace-out).
+func WriteJSONL(w io.Writer, recs []MoveRecord) error {
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"bias", "stamp", "lu", "moments", "fit", "specs"}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Errorf("out-of-range stage should stringify as unknown")
+	}
+	if len(want) != NumStages {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
+	}
+}
+
+func TestEvalTimerSamplingCadence(t *testing.T) {
+	timer := NewEvalTimer(4)
+	c := timer.NewClock()
+	const evals = 40
+	for i := 0; i < evals; i++ {
+		c.Begin()
+		c.Mark(StageBias)
+		c.Mark(StageSpecs)
+		c.End()
+	}
+	bd := timer.Breakdown()
+	if len(bd) != 2 {
+		t.Fatalf("breakdown has %d stages, want 2: %+v", len(bd), bd)
+	}
+	for _, row := range bd {
+		if row.SampledEvals != evals/4 {
+			t.Errorf("stage %s sampled %d evals, want %d", row.Stage, row.SampledEvals, evals/4)
+		}
+		if row.TotalSeconds < 0 || row.MeanSeconds < 0 {
+			t.Errorf("stage %s has negative timing: %+v", row.Stage, row)
+		}
+	}
+	if got := timer.SampleEvery(); got != 4 {
+		t.Errorf("SampleEvery = %d, want 4", got)
+	}
+}
+
+func TestEvalTimerDisabledAndNil(t *testing.T) {
+	if c := NewEvalTimer(0).NewClock(); c != nil {
+		t.Fatalf("disabled timer should hand out nil clocks")
+	}
+	var timer *EvalTimer
+	if timer.SampleEvery() != 0 || timer.Breakdown() != nil || timer.NewClock() != nil {
+		t.Fatalf("nil timer methods should be inert")
+	}
+	// All clock methods must be safe on a nil receiver.
+	var c *Clock
+	c.Begin()
+	c.Mark(StageLU)
+	c.End()
+}
+
+func TestEvalTimerAbandonedEvalDiscarded(t *testing.T) {
+	timer := NewEvalTimer(1)
+	c := timer.NewClock()
+	c.Begin()
+	c.Mark(StageBias)
+	// No End: simulates an error path bailing out mid-pipeline.
+	c.Begin()
+	c.Mark(StageStamp)
+	c.End()
+	bd := timer.Breakdown()
+	if len(bd) != 1 || bd[0].Stage != "stamp" {
+		t.Fatalf("abandoned eval leaked into breakdown: %+v", bd)
+	}
+}
+
+func TestEvalTimerOnSample(t *testing.T) {
+	timer := NewEvalTimer(1)
+	var mu sync.Mutex
+	seen := map[Stage]int{}
+	timer.OnSample(func(s Stage, d time.Duration) {
+		if d <= 0 {
+			t.Errorf("non-positive sample duration for %s", s)
+		}
+		mu.Lock()
+		seen[s]++
+		mu.Unlock()
+	})
+	c := timer.NewClock()
+	for i := 0; i < 3; i++ {
+		c.Begin()
+		time.Sleep(time.Microsecond)
+		c.Mark(StageFit)
+		c.End()
+	}
+	if seen[StageFit] != 3 {
+		t.Fatalf("OnSample fired %d times for fit, want 3", seen[StageFit])
+	}
+}
+
+func TestEvalTimerConcurrentClocks(t *testing.T) {
+	timer := NewEvalTimer(1)
+	const workers, evals = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := timer.NewClock()
+			for i := 0; i < evals; i++ {
+				c.Begin()
+				c.Mark(StageLU)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	bd := timer.Breakdown()
+	if len(bd) != 1 || bd[0].SampledEvals != workers*evals {
+		t.Fatalf("want %d lu samples, got %+v", workers*evals, bd)
+	}
+}
+
+func TestClockZeroAlloc(t *testing.T) {
+	timer := NewEvalTimer(1)
+	c := timer.NewClock()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Begin()
+		c.Mark(StageBias)
+		c.Mark(StageLU)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("armed clock allocates %.1f/op, want 0", allocs)
+	}
+	var nilClock *Clock
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilClock.Begin()
+		nilClock.Mark(StageBias)
+		nilClock.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil clock allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderWrapOrder(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(MoveRecord{Move: i})
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Cap() != 4 {
+		t.Fatalf("len=%d total=%d cap=%d, want 4/10/4", r.Len(), r.Total(), r.Cap())
+	}
+	snap := r.Snapshot()
+	for i, rec := range snap {
+		if want := 7 + i; rec.Move != want {
+			t.Fatalf("snapshot[%d].Move = %d, want %d (snap %+v)", i, rec.Move, want, snap)
+		}
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	if got := NewFlightRecorder(0).Cap(); got != DefaultFlightRecords {
+		t.Fatalf("default capacity %d, want %d", got, DefaultFlightRecords)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Record(MoveRecord{Move: i})
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				snap := r.Snapshot()
+				for j := 1; j < len(snap); j++ {
+					if snap[j].Move != snap[j-1].Move+1 {
+						t.Errorf("snapshot out of order at %d: %d then %d", j, snap[j-1].Move, snap[j].Move)
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightSnapshotRoundTrip(t *testing.T) {
+	snap := &FlightSnapshot{
+		Version:       FlightSnapshotVersion,
+		JobID:         "job-1",
+		Cause:         "stall",
+		Time:          time.Unix(1700000000, 0).UTC(),
+		Attempt:       2,
+		SampleEvery:   64,
+		TotalRecorded: 12,
+		Stages:        []StageBreakdown{{Stage: "lu", SampledEvals: 3, TotalSeconds: 0.5, MeanSeconds: 0.5 / 3}},
+		Moves:         []MoveRecord{{Move: 500, MoveClass: "var", Accepted: true, DCost: -0.25}},
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFlightSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != snap.JobID || got.Cause != snap.Cause || len(got.Moves) != 1 || got.Moves[0].Move != 500 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := DecodeFlightSnapshot([]byte(`{"version": 99}`)); err == nil {
+		t.Fatalf("future snapshot version should be rejected")
+	}
+	if _, err := DecodeFlightSnapshot([]byte(`{garbage`)); err == nil {
+		t.Fatalf("garbage snapshot should be rejected")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	recs := []MoveRecord{
+		{Move: 1, MoveClass: "var", Accepted: true, DCost: -1, Hustin: map[string]float64{"var": 0.5}},
+		{Move: 2, MoveClass: "swap", Accepted: false, DCost: 2.5, WorstSpec: "gain", WorstSpecU: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var rec MoveRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines+1, err)
+		}
+		lines++
+		if rec.Move != lines {
+			t.Errorf("line %d decoded Move %d", lines, rec.Move)
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "job", "j1", "attempt", 2)
+	var rec map[string]any
+	line := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("output not one JSON line (%q): %v", line, err)
+	}
+	if rec["msg"] != "kept" || rec["job"] != "j1" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("dropped at default level")
+	lg.Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") || strings.Contains(buf.String(), "dropped") {
+		t.Fatalf("text logger output wrong: %q", buf.String())
+	}
+
+	for _, bad := range [][2]string{{"yaml", "info"}, {"text", "loud"}} {
+		if _, err := NewLogger(&buf, bad[0], bad[1]); err == nil {
+			t.Errorf("NewLogger(%q, %q) should fail", bad[0], bad[1])
+		}
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	lg := DiscardLogger()
+	// Must be usable (no panic) and genuinely disabled at every level.
+	lg.Debug("x")
+	lg.With("k", "v").WithGroup("g").Error("y", "err", fmt.Errorf("boom"))
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Fatalf("discard logger claims to be enabled")
+	}
+}
