@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: ci vet build test race chaos lint bench-json bench-check telemetry-guard
+.PHONY: ci vet build test race chaos fleet-chaos lint bench-json bench-check telemetry-guard
 
 # bench-check and lint are advisory in ci (benchmark timings on shared
 # CI hardware are too noisy to gate merges on, and the lint tools need
@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 # perf-sensitive changes and regenerate the baseline with bench-json
 # when a speedup or an accepted regression lands. telemetry-guard gates:
 # its allocs/eval comparison is deterministic, unlike timings.
-ci: vet build test race telemetry-guard
+ci: vet build test race fleet-chaos telemetry-guard
 	-$(MAKE) bench-check
 	-$(MAKE) lint
 
@@ -26,15 +26,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/metrics ./internal/telemetry
+	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/fleet ./internal/metrics ./internal/telemetry
 
 # chaos runs the fault-injection suites under the race detector: durable
-# envelope/atomic-write tests, the injector itself, retry/backoff, and
-# the oblxd restart-under-faults tests that assert no job is ever lost
-# or double-completed. Slower than `make race`; run before touching the
-# persistence or supervision layers.
+# envelope/atomic-write tests, the injector itself (filesystem and
+# network faults), retry/backoff, the oblxd restart-under-faults tests
+# that assert no job is ever lost or double-completed, and the fleet
+# partition/worker-kill scenarios. Slower than `make race`; run before
+# touching the persistence or supervision layers.
 chaos:
-	$(GO) test -race -count=1 ./internal/durable ./internal/faults ./internal/retry ./internal/server
+	$(GO) test -race -count=1 ./internal/durable ./internal/faults ./internal/retry ./internal/server ./internal/fleet
+
+# fleet-chaos runs just the coordinator/worker supervision drills under
+# the race detector: heartbeat loss, partition-then-heal fencing,
+# kill -9 with checkpoint resume, coordinator restart, and stall
+# poisoning — the exactly-once acceptance suite for distributed mode.
+fleet-chaos:
+	$(GO) test -race -count=1 ./internal/fleet
 
 # lint is advisory: staticcheck and govulncheck run via `go run`, which
 # downloads them on first use. In an offline or hermetic environment the

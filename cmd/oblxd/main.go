@@ -13,6 +13,15 @@
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions get
 // 503, running jobs checkpoint at their exact annealing move, and a
 // restarted daemon pointed at the same -state-dir resumes them.
+//
+// The daemon also scales out as a fleet (see docs/operations.md,
+// "Running a fleet"): one coordinator owns the job store and hands out
+// leases, any number of workers claim and execute runs:
+//
+//	oblxd -mode coordinator -addr :8080 -state-dir /var/lib/oblxd
+//	oblxd -mode worker -coordinator http://coord:8080 -state-dir /var/lib/oblxd-w1
+//
+// The default -mode standalone behaves exactly as before.
 package main
 
 import (
@@ -20,12 +29,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"astrx/internal/fleet"
 	"astrx/internal/metrics"
 	"astrx/internal/server"
 	"astrx/internal/telemetry"
@@ -51,6 +62,12 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		telemSample = flag.Int("telemetry-sample", 64, "sample 1 in N evaluations for per-stage timing (0: off)")
 		flightRecs  = flag.Int("flight-records", 0, "per-job flight-recorder ring size (0: default 2048)")
+
+		mode        = flag.String("mode", "standalone", "standalone, coordinator, or worker (see docs/operations.md)")
+		coordinator = flag.String("coordinator", "", "coordinator base URL (worker mode)")
+		workerID    = flag.String("worker-id", "", "worker name in leases and logs (worker mode; default host-pid)")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator: declare a worker dead after this long without a heartbeat")
+		hbEvery     = flag.Duration("heartbeat-every", 0, "coordinator: heartbeat cadence workers are told to use (0: lease-ttl/3)")
 	)
 	flag.Parse()
 
@@ -62,6 +79,8 @@ func main() {
 		maxAttempts: *maxAttempts, jobDeadline: *jobDeadline,
 		logFormat: *logFormat, logLevel: *logLevel,
 		telemSample: *telemSample, flightRecs: *flightRecs,
+		mode: *mode, coordinator: *coordinator, workerID: *workerID,
+		leaseTTL: *leaseTTL, hbEvery: *hbEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oblxd:", err)
@@ -85,6 +104,9 @@ type daemonConfig struct {
 	logFormat, logLevel string
 	telemSample         int
 	flightRecs          int
+
+	mode, coordinator, workerID string
+	leaseTTL, hbEvery           time.Duration
 }
 
 func run(cfg daemonConfig) error {
@@ -108,6 +130,20 @@ func run(cfg daemonConfig) error {
 	if err != nil {
 		return err
 	}
+	switch cfg.mode {
+	case "standalone", "coordinator":
+		return runServe(cfg, logger)
+	case "worker":
+		return runWorker(cfg, logger)
+	default:
+		return fmt.Errorf("-mode must be standalone, coordinator, or worker (got %q)", cfg.mode)
+	}
+}
+
+// runServe runs the HTTP daemon: the whole service in standalone mode,
+// or the job store + lease coordinator in coordinator mode (execution
+// then happens on workers).
+func runServe(cfg daemonConfig, logger *slog.Logger) error {
 	// The Options convention is 0 → default, negative → off; the flag
 	// convention is 0 → off (nothing is "default off by surprise").
 	sample := cfg.telemSample
@@ -129,14 +165,31 @@ func run(cfg daemonConfig) error {
 		StallTimeout:         cfg.stallTimeout,
 		MaxAttempts:          cfg.maxAttempts,
 		JobDeadline:          cfg.jobDeadline,
+		ExternalExec:         cfg.mode == "coordinator",
 	})
 	if err != nil {
 		return err
 	}
 
+	handler := mgr.Handler()
+	if cfg.mode == "coordinator" {
+		coord := fleet.NewCoordinator(mgr, fleet.Options{
+			LeaseTTL:       cfg.leaseTTL,
+			HeartbeatEvery: cfg.hbEvery,
+			// In coordinator mode -stall-timeout supervises eval progress
+			// across the fleet instead of a local worker pool.
+			StallTimeout:    cfg.stallTimeout,
+			CheckpointEvery: cfg.ckptEvery,
+			StateDir:        cfg.stateDir,
+			Logger:          logger,
+		})
+		defer coord.Stop()
+		handler = coord.Handler()
+	}
+
 	srv := &http.Server{
 		Addr:    cfg.addr,
-		Handler: mgr.Handler(),
+		Handler: handler,
 		// Job streams are long-lived; only bound the read side.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -171,4 +224,35 @@ func run(cfg daemonConfig) error {
 	}
 	logger.Info("bye")
 	return nil
+}
+
+// runWorker runs the fleet-worker claim loop against a coordinator. On
+// SIGTERM/SIGINT the worker drains gracefully: the in-flight run ships
+// a final checkpoint and releases its lease so another worker resumes
+// it mid-anneal.
+func runWorker(cfg daemonConfig, logger *slog.Logger) error {
+	if cfg.coordinator == "" {
+		return errors.New("-mode worker requires -coordinator URL")
+	}
+	id := cfg.workerID
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := fleet.NewWorker(fleet.WorkerOptions{
+		Coordinator: cfg.coordinator,
+		ID:          id,
+		Dir:         cfg.stateDir,
+		Logger:      logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("worker started", "id", id, "coordinator", cfg.coordinator, "state_dir", cfg.stateDir)
+	err := w.Run(ctx)
+	logger.Info("bye")
+	return err
 }

@@ -40,6 +40,9 @@ func (k Kind) String() string {
 	if name, ok := fsKindNames[k]; ok {
 		return name
 	}
+	if name, ok := netKindNames[k]; ok {
+		return name
+	}
 	return fmt.Sprintf("faults.Kind(%d)", int(k))
 }
 
@@ -69,9 +72,10 @@ type Injector struct {
 	mu    sync.Mutex
 	state uint64
 	rates Rates
-	// counts covers both the evaluation kinds above and the filesystem
-	// kinds of fs.go (which continue the same enumeration).
-	counts [nFSKinds]int64
+	// counts covers the evaluation kinds above plus the filesystem kinds
+	// of fs.go and the network kinds of net.go (which continue the same
+	// enumeration).
+	counts [nNetKinds]int64
 }
 
 // New builds an injector with the given seed and rates.

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// The injectable network fault classes, continuing the Kind enumeration
+// in fs.go. They model what a coordinator/worker hop sees in the field:
+// a request that never arrives, one that arrives late, one that arrives
+// twice, and a partition that blocks everything until it heals.
+const (
+	NetDrop      Kind = nFSKinds + iota // request dropped on the floor
+	NetDelay                            // request delayed before sending
+	NetDup                              // request delivered twice
+	NetPartition                        // request blocked by an open partition
+	nNetKinds
+)
+
+// netKindNames names the network fault kinds for Kind.String.
+var netKindNames = map[Kind]string{
+	NetDrop:      "net-drop",
+	NetDelay:     "net-delay",
+	NetDup:       "net-dup",
+	NetPartition: "net-partition",
+}
+
+// NetRates configures per-request network fault probabilities. DelayBy
+// is how long a delayed request waits before being sent (0 → 10ms).
+type NetRates struct {
+	Drop    float64
+	Delay   float64
+	Dup     float64
+	DelayBy time.Duration
+}
+
+// Transport wraps an http.RoundTripper with this injector's network
+// faults: dropped, delayed, and duplicated requests, plus an explicit
+// partition toggle for partition-then-heal scenarios. A nil injector
+// returns a transport that only supports the partition toggle (all
+// rates inert). Chaos tests hand the result to a fleet worker's HTTP
+// client, so every coordinator/worker message crosses the faulty link.
+func (in *Injector) Transport(under http.RoundTripper, rates NetRates) *Transport {
+	if under == nil {
+		under = http.DefaultTransport
+	}
+	if rates.DelayBy <= 0 {
+		rates.DelayBy = 10 * time.Millisecond
+	}
+	return &Transport{in: in, under: under, rates: rates}
+}
+
+// Transport is a fault-injecting http.RoundTripper. See
+// Injector.Transport.
+type Transport struct {
+	in          *Injector
+	under       http.RoundTripper
+	rates       NetRates
+	partitioned atomic.Bool
+}
+
+// Partition opens the partition: every subsequent request errors
+// without reaching the wire, as if the link were cut.
+func (t *Transport) Partition() { t.partitioned.Store(true) }
+
+// Heal closes the partition; requests flow again.
+func (t *Transport) Heal() { t.partitioned.Store(false) }
+
+// Partitioned reports whether the partition is currently open.
+func (t *Transport) Partitioned() bool { return t.partitioned.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body up front when duplication is possible — a request
+	// can only be replayed from a rewindable copy.
+	var body []byte
+	if t.rates.Dup > 0 && req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+	}
+
+	if t.partitioned.Load() {
+		if t.in != nil {
+			t.in.mu.Lock()
+			t.in.counts[NetPartition]++
+			t.in.mu.Unlock()
+		}
+		drainBody(req)
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path,
+			&Injected{K: NetPartition, N: t.in.Count(NetPartition)})
+	}
+	if t.in.roll(NetDrop, t.rates.Drop) {
+		drainBody(req)
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path,
+			&Injected{K: NetDrop, N: t.in.Count(NetDrop)})
+	}
+	if t.in.roll(NetDelay, t.rates.Delay) {
+		select {
+		case <-time.After(t.rates.DelayBy):
+		case <-req.Context().Done():
+			drainBody(req)
+			return nil, req.Context().Err()
+		}
+	}
+	if t.in.roll(NetDup, t.rates.Dup) && body != nil {
+		// Deliver the request twice: the first response is discarded, the
+		// caller sees the second. The receiver must be idempotent.
+		dup := req.Clone(req.Context())
+		dup.Body = io.NopCloser(bytes.NewReader(body))
+		if resp, err := t.under.RoundTrip(dup); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return t.under.RoundTrip(req)
+}
+
+// drainBody honors the RoundTripper contract: the transport owns the
+// request body and must close it even when the request never ships.
+func drainBody(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}

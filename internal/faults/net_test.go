@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTransportPartitionThenHeal: an open partition blocks every
+// request (counted), and healing restores the link.
+func TestTransportPartitionThenHeal(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	in := New(1, Rates{})
+	tr := in.Transport(nil, NetRates{})
+	client := &http.Client{Transport: tr}
+
+	tr.Partition()
+	if !tr.Partitioned() {
+		t.Fatal("Partitioned() false after Partition()")
+	}
+	if _, err := client.Post(ts.URL, "text/plain", strings.NewReader("x")); err == nil {
+		t.Fatal("request succeeded across an open partition")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("partitioned request reached the server")
+	}
+	if in.Count(NetPartition) != 1 {
+		t.Fatalf("partition count %d, want 1", in.Count(NetPartition))
+	}
+
+	tr.Heal()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("server hits after heal: %d, want 1", hits.Load())
+	}
+}
+
+// TestTransportDrop: rate-1 drops fail every request with an *Injected
+// error and count each one.
+func TestTransportDrop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("dropped request reached the server")
+	}))
+	defer ts.Close()
+
+	in := New(2, Rates{})
+	client := &http.Client{Transport: in.Transport(nil, NetRates{Drop: 1})}
+	_, err := client.Post(ts.URL, "text/plain", strings.NewReader("payload"))
+	if err == nil {
+		t.Fatal("drop did not fail the request")
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.K != NetDrop {
+		t.Fatalf("error %v is not an injected net-drop", err)
+	}
+	if in.Count(NetDrop) != 1 {
+		t.Fatalf("drop count %d, want 1", in.Count(NetDrop))
+	}
+}
+
+// TestTransportDup: a duplicated POST delivers the same body twice; the
+// caller sees one (the second) response.
+func TestTransportDup(t *testing.T) {
+	var bodies []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+	}))
+	defer ts.Close()
+
+	in := New(3, Rates{})
+	client := &http.Client{Transport: in.Transport(nil, NetRates{Dup: 1})}
+	resp, err := client.Post(ts.URL, "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatalf("dup request: %v", err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != "hello" || bodies[1] != "hello" {
+		t.Fatalf("server saw bodies %q, want two copies of \"hello\"", bodies)
+	}
+	if in.Count(NetDup) != 1 {
+		t.Fatalf("dup count %d, want 1", in.Count(NetDup))
+	}
+}
+
+// TestTransportDelay: a delayed request still arrives, after DelayBy.
+func TestTransportDelay(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	in := New(4, Rates{})
+	client := &http.Client{Transport: in.Transport(nil, NetRates{Delay: 1, DelayBy: 30 * time.Millisecond})}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request completed in %s, want >= 30ms delay", d)
+	}
+	if in.Count(NetDelay) != 1 {
+		t.Fatalf("delay count %d, want 1", in.Count(NetDelay))
+	}
+}
+
+// TestTransportKindNames: the new kinds stringify for logs.
+func TestTransportKindNames(t *testing.T) {
+	for k, want := range map[Kind]string{
+		NetDrop: "net-drop", NetDelay: "net-delay", NetDup: "net-dup", NetPartition: "net-partition",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"astrx/internal/durable"
+	"astrx/internal/server"
+)
+
+// leaseKey identifies one leased unit of work: a (job, run) pair. A
+// single-run job is run 0; a multi-start job holds one lease per run.
+type leaseKey struct {
+	job string
+	run int
+}
+
+func (k leaseKey) String() string { return fmt.Sprintf("%s/%d", k.job, k.run) }
+
+// lease is the coordinator's record of one granted lease. All fields
+// are guarded by the coordinator's mutex.
+type lease struct {
+	key    leaseKey
+	worker string
+	// epoch is the fencing token: monotonically increasing across every
+	// grant the coordinator (and, via the persisted high-water mark, any
+	// successor coordinator) ever makes. A message carrying a lower
+	// epoch than the active lease is from a fenced predecessor.
+	epoch uint64
+	// expires is pushed forward by each heartbeat; the reaper expires
+	// the lease past it ("worker died").
+	expires time.Time
+	// lastEvals / lastProgress watermark real eval progress; heartbeats
+	// that renew the lease without advancing lastEvals eventually trip
+	// the stall timeout ("job stalled").
+	lastEvals    int
+	lastProgress time.Time
+	// cancelled marks a pending cancel instruction for the worker,
+	// delivered on its next heartbeat.
+	cancelled bool
+
+	job   *server.Job
+	multi *multiJob // nil for single-run jobs
+}
+
+// epochFile is where the fencing high-water mark persists, relative to
+// the coordinator's state directory.
+const epochFile = "fleet-epoch.json"
+
+// epochRecord is the on-disk form of the fencing counter.
+type epochRecord struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// loadEpoch restores the persisted fencing high-water mark, so leases
+// granted by this incarnation always outfence leases granted before
+// the restart. Missing file → start at zero (fresh store).
+func (c *Coordinator) loadEpoch() {
+	if c.opt.StateDir == "" {
+		return
+	}
+	payload, err := durable.ReadSealed(c.fsys, filepath.Join(c.opt.StateDir, epochFile))
+	if err != nil {
+		return
+	}
+	var rec epochRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		c.log.Warn("fleet: corrupt epoch record, restarting fencing counter", "err", err)
+		return
+	}
+	c.epoch = rec.Epoch
+}
+
+// nextEpochLocked mints the next fencing token and persists the
+// high-water mark before the token can reach a worker — the invariant
+// that makes post-restart leases strictly newer than anything granted
+// before the crash. Callers hold c.mu.
+func (c *Coordinator) nextEpochLocked() uint64 {
+	c.epoch++
+	if c.opt.StateDir != "" {
+		data, _ := json.Marshal(epochRecord{Epoch: c.epoch})
+		if err := durable.WriteSealedAtomic(c.fsys, filepath.Join(c.opt.StateDir, epochFile), data); err != nil {
+			// The lease is still granted: losing the write risks epoch
+			// reuse only after a coordinator restart, and recovery requeues
+			// every running job anyway. Log it loudly and move on.
+			c.log.Error("fleet: persist fencing epoch failed", "epoch", c.epoch, "err", err)
+		}
+	}
+	return c.epoch
+}
+
+// grantLocked creates and registers a lease for one run of a job.
+// Callers hold c.mu.
+func (c *Coordinator) grantLocked(j *server.Job, run int, worker string, mj *multiJob) *lease {
+	now := time.Now()
+	l := &lease{
+		key:          leaseKey{job: j.ID, run: run},
+		worker:       worker,
+		epoch:        c.nextEpochLocked(),
+		expires:      now.Add(c.opt.LeaseTTL),
+		lastProgress: now,
+		job:          j,
+		multi:        mj,
+	}
+	c.leases[l.key] = l
+	return l
+}
+
+// lookupLocked resolves the active lease for (job, run) and checks the
+// caller's identity against it. It returns the lease and "" on a match,
+// or nil and the rejection outcome ("unknown" when no lease exists,
+// "fenced" on a worker/epoch mismatch). Callers hold c.mu.
+func (c *Coordinator) lookupLocked(key leaseKey, worker string, epoch uint64) (*lease, string) {
+	l := c.leases[key]
+	if l == nil {
+		return nil, "unknown"
+	}
+	if l.worker != worker || l.epoch != epoch {
+		return nil, "fenced"
+	}
+	return l, ""
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"time"
+
+	"astrx/internal/server"
+)
+
+// Worker liveness states, derived from the time since a worker's last
+// message rather than stored: "alive" within suspectAfter, "suspect"
+// until the lease TTL, "dead" past it. A dead worker's leases have
+// expired (or are about to), so its jobs are already being re-leased.
+const (
+	WorkerAlive   = "alive"
+	WorkerSuspect = "suspect"
+	WorkerDead    = "dead"
+)
+
+// workerStates lists the liveness states for metrics registration.
+var workerStates = []string{WorkerAlive, WorkerSuspect, WorkerDead}
+
+// workerInfo is the registry's record of one worker.
+type workerInfo struct {
+	lastSeen time.Time
+}
+
+// noteWorker records that a worker was heard from (any fleet message).
+func (c *Coordinator) noteWorker(id string) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	w := c.workers[id]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[id] = w
+		c.log.Info("fleet: worker registered", "worker", id)
+	}
+	w.lastSeen = time.Now()
+	c.mu.Unlock()
+}
+
+// livenessOf classifies one worker's state at time now.
+func (c *Coordinator) livenessOf(w *workerInfo, now time.Time) string {
+	since := now.Sub(w.lastSeen)
+	switch {
+	case since <= c.suspectAfter:
+		return WorkerAlive
+	case since <= c.opt.LeaseTTL:
+		return WorkerSuspect
+	default:
+		return WorkerDead
+	}
+}
+
+// workerBreakdown counts registered workers by liveness state.
+func (c *Coordinator) workerBreakdown() (total int, byState map[string]int) {
+	byState = make(map[string]int, len(workerStates))
+	for _, st := range workerStates {
+		byState[st] = 0
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		byState[c.livenessOf(w, now)]++
+		total++
+	}
+	return total, byState
+}
+
+// fleetHealth builds the /healthz fleet section; installed on the
+// manager via SetFleetHealth.
+func (c *Coordinator) fleetHealth() *server.FleetHealth {
+	total, byState := c.workerBreakdown()
+	return &server.FleetHealth{
+		Workers:        total,
+		WorkersByState: byState,
+		QueueDepth:     c.mgr.QueueDepth(),
+	}
+}

@@ -76,6 +76,25 @@ func SaveCheckpointFS(fsys durable.FS, path string, ck *Checkpoint) error {
 	return nil
 }
 
+// DecodeCheckpoint parses a checkpoint from raw JSON (no envelope) and
+// validates its version and structure — the wire-transfer counterpart
+// of LoadCheckpoint, for checkpoints shipped between fleet nodes rather
+// than read from disk. The variable-count guard still runs at resume
+// time, when the deck is compiled.
+func DecodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(payload, ck); err != nil {
+		return nil, fmt.Errorf("oblx: parse checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("oblx: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if ck.Anneal == nil || ck.Weights == nil {
+		return nil, fmt.Errorf("oblx: checkpoint missing annealer or weight state")
+	}
+	return ck, nil
+}
+
 // LoadCheckpoint reads a checkpoint written by SaveCheckpoint. Sealed
 // envelopes are verified; raw JSON from older releases is still
 // accepted so in-flight checkpoints survive an upgrade.

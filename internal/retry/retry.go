@@ -8,6 +8,7 @@
 package retry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -88,6 +89,50 @@ func (p Policy) Backoff(attempt int) time.Duration {
 // the retries already performed.
 func (p Policy) Exhausted(attempt int) bool {
 	return p.MaxAttempts > 0 && attempt >= p.MaxAttempts
+}
+
+// Sleep blocks for d or until ctx is done, whichever comes first,
+// returning nil after a full sleep and ctx.Err() when the wait was cut
+// short. It is the context-aware replacement for the hand-rolled
+// timer+select blocks supervision loops otherwise accumulate; a
+// non-positive d returns immediately with ctx's current error.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn until it succeeds, the policy's attempt budget is
+// exhausted, or ctx is cancelled, sleeping the policy's jittered
+// backoff between attempts. Attempt numbering matches the rest of the
+// package: the initial call is "attempt 1", so a policy with
+// MaxAttempts=3 calls fn at most three times. A policy with
+// MaxAttempts=0 retries until ctx cancellation. The returned error
+// wraps fn's last failure.
+func Do(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if p.Exhausted(attempt) {
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
+		}
+		if serr := Sleep(ctx, p.Backoff(attempt)); serr != nil {
+			return fmt.Errorf("retry: %w (last attempt: %w)", serr, err)
+		}
+	}
 }
 
 // String renders the policy for logs and runbooks.

@@ -1,6 +1,8 @@
 package retry
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -63,6 +65,93 @@ func TestExhausted(t *testing.T) {
 	unbounded := Policy{}
 	if unbounded.Exhausted(1 << 20) {
 		t.Error("MaxAttempts=0 must never exhaust")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0): %v", err)
+	}
+}
+
+func TestSleepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx: %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+	// A non-positive duration still reports the context's state.
+	if err := Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep(0) on cancelled ctx: %v", err)
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Multiplier: 1, MaxAttempts: 5}
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestDoExhausts(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Multiplier: 1, MaxAttempts: 3}
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do error %v does not wrap the last failure", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want MaxAttempts=3", calls)
+	}
+}
+
+func TestDoStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Base: time.Hour, Multiplier: 1} // unbounded attempts, long backoff
+	calls := 0
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Do(ctx, p, func(context.Context) error {
+		calls++
+		return errors.New("always fails")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do: %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (cancelled during backoff)", calls)
+	}
+	// A pre-cancelled context never calls fn.
+	calls = 0
+	if err := Do(ctx, p, func(context.Context) error { calls++; return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do on cancelled ctx: %v", err)
+	}
+	if calls != 0 {
+		t.Fatal("fn must not run on a pre-cancelled context")
 	}
 }
 

@@ -424,3 +424,35 @@ func TestHealthzJSONBody(t *testing.T) {
 		t.Errorf("404 Retry-After = %q, want \"1\"", ra)
 	}
 }
+
+// TestRetryAfterEstimateTracksJobDurations checks the 429 Retry-After
+// hint is a real backlog estimate — average job duration × queue depth
+// ÷ workers — not a constant, while staying at the 5s default before
+// any job has finished.
+func TestRetryAfterEstimateTracksJobDurations(t *testing.T) {
+	m := newTestManager(t, Options{ExternalExec: true})
+
+	// Empty queue, no history: clamped to the 1s floor.
+	if d := m.retryAfterEstimate(); d != time.Second {
+		t.Fatalf("empty-queue estimate = %s, want 1s floor", d)
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(testDeck, JobOptions{Seed: int64(i + 1), MaxMoves: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No finished jobs yet: the 5s default average applies.
+	// depth 2 × 5s ÷ 2 workers = 5s — the value the shedding test pins.
+	if d := m.retryAfterEstimate(); d != 5*time.Second {
+		t.Fatalf("no-history estimate = %s, want 5s", d)
+	}
+
+	// With real durations the estimate follows the observed average:
+	// avg 45s × depth 2 ÷ 2 workers = 45s.
+	m.mJobSecs.Observe(30)
+	m.mJobSecs.Observe(60)
+	if d := m.retryAfterEstimate(); d != 45*time.Second {
+		t.Fatalf("estimate = %s, want 45s from observed durations", d)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -34,15 +35,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeErr emits a JSON error body. Every error response carries a
-// Retry-After hint: a real backoff for the load-shedding codes, a
-// nominal one elsewhere (the X-Request-Id header is added for all
-// responses by the Handler middleware).
+// Retry-After hint: handlers with a real backoff estimate set the
+// header before calling (writeErr keeps it), the load-shedding codes
+// default to 5s, everything else to a nominal 1s (the X-Request-Id
+// header is added for all responses by the Handler middleware).
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	switch code {
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		w.Header().Set("Retry-After", "5")
-	default:
-		w.Header().Set("Retry-After", "1")
+	if w.Header().Get("Retry-After") == "" {
+		switch code {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			w.Header().Set("Retry-After", "5")
+		default:
+			w.Header().Set("Retry-After", "1")
+		}
 	}
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
@@ -202,6 +206,10 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrDraining):
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, ErrQueueFull):
+			// Hint when the queue is actually expected to drain, not a
+			// fixed constant.
+			secs := int(math.Ceil(m.retryAfterEstimate().Seconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
 		case errors.As(err, &de):
 			writeErr(w, http.StatusBadRequest, "%v", de.Err)

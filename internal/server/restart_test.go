@@ -266,3 +266,67 @@ func readRecord(t *testing.T, dir, id string) *jobRecord {
 	}
 	return &rec
 }
+
+// TestRequeueFIFOAcrossRestart checks the graceful-drain ordering
+// contract: jobs queued at shutdown come back after a restart in their
+// original submission order, and a lease released back by a draining
+// external worker re-enters at the queue head (it was claimed first, so
+// FIFO is preserved, not reset).
+func TestRequeueFIFOAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := New(Options{StateDir: dir, ExternalExec: true, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := m1.Submit(testDeck, JobOptions{Seed: int64(i + 1), MaxMoves: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := New(Options{StateDir: dir, ExternalExec: true, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m2.Shutdown(ctx)
+	})
+	if d := m2.QueueDepth(); d != 3 {
+		t.Fatalf("recovered queue depth %d, want 3", d)
+	}
+
+	// Claim the head, hand it back (graceful worker drain): it must be
+	// claimable again before the jobs behind it.
+	head := m2.ClaimQueued()
+	if head == nil || head.ID != ids[0] {
+		t.Fatalf("first claim = %v, want %s", head, ids[0])
+	}
+	m2.ReleaseExternal(head)
+
+	var got []string
+	for i := 0; i < 3; i++ {
+		j := m2.ClaimQueued()
+		if j == nil {
+			t.Fatalf("queue empty after %d claims, want 3", i)
+		}
+		got = append(got, j.ID)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("claim order %v, want submission order %v", got, ids)
+		}
+	}
+	if j := m2.ClaimQueued(); j != nil {
+		t.Fatalf("extra job %s in queue", j.ID)
+	}
+}

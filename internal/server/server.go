@@ -182,6 +182,10 @@ type Job struct {
 	requestID string
 	// resume holds the checkpoint to continue from, set during recovery.
 	resume *oblx.Checkpoint
+	// extEvals/extTime track per-run eval watermarks for progress events
+	// fed by external fleet workers (nil for locally-executed jobs).
+	extEvals map[int]int
+	extTime  map[int]time.Time
 	// telem holds the job's flight recorder + stage timer, created on
 	// the first run attempt; nil for jobs that never ran under this
 	// daemon incarnation.
@@ -360,6 +364,15 @@ type Options struct {
 	// FS is the filesystem under the persistence layer (nil → the real
 	// one). Chaos tests substitute a fault-injecting wrapper.
 	FS durable.FS
+
+	// ExternalExec hands job execution to an external fleet: the manager
+	// keeps owning the durable job store, the queue, and the event
+	// streams, but spawns no local synthesis workers and no stall
+	// watchdog — a fleet coordinator (internal/fleet) drives jobs through
+	// ClaimQueued / RecordExternalProgress / CompleteExternal and
+	// supervises liveness with leases instead. Standalone daemons leave
+	// this false and behave exactly as before.
+	ExternalExec bool
 }
 
 // Manager owns the job table, the queue, and the worker pool.
@@ -378,6 +391,9 @@ type Manager struct {
 	running  int
 	draining bool
 	degraded bool
+	// fleetHealth, when set (SetFleetHealth), contributes the fleet
+	// section of /healthz in coordinator mode.
+	fleetHealth func() *FleetHealth
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -499,13 +515,15 @@ func New(opt Options) (*Manager, error) {
 			return nil, err
 		}
 	}
-	for i := 0; i < opt.Workers; i++ {
-		m.wg.Add(1)
-		go m.worker()
-	}
-	if opt.StallTimeout > 0 {
-		m.wg.Add(1)
-		go m.watchdog()
+	if !opt.ExternalExec {
+		for i := 0; i < opt.Workers; i++ {
+			m.wg.Add(1)
+			go m.worker()
+		}
+		if opt.StallTimeout > 0 {
+			m.wg.Add(1)
+			go m.watchdog()
+		}
 	}
 	return m, nil
 }
@@ -857,13 +875,9 @@ func (m *Manager) watchdog() {
 	if interval > time.Second {
 		interval = time.Second
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
 	for {
-		select {
-		case <-m.ctx.Done():
-			return
-		case <-t.C:
+		if retry.Sleep(m.ctx, interval) != nil {
+			return // shutting down
 		}
 		m.mu.Lock()
 		jobs := make([]*Job, 0, len(m.jobs))
@@ -929,57 +943,25 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 	}
 
 	now := time.Now()
-	result := &JobResult{ID: j.ID}
-	var state State
-	switch {
-	case deadlineHit && !userCancelled:
+	result := BuildJobResult(j.ID, res, err)
+	if deadlineHit && !userCancelled {
 		// The per-job wall-clock deadline fired; the partial best-so-far
 		// design is kept, but the job is a terminal failure, not a
 		// cancellation the user asked for. The flight recorder's last
 		// moves go to disk for the post-mortem.
 		m.snapshotFlight(j, fmt.Sprintf("deadline %s exceeded", m.opt.JobDeadline))
-		state = StateFailed
+		result.State = StateFailed
 		result.Error = fmt.Sprintf("server: job deadline %s exceeded", m.opt.JobDeadline)
-	case err != nil:
-		state = StateFailed
-		result.Error = err.Error()
-	case res.Cancelled:
-		state = StateCancelled
-	default:
-		state = StateDone
 	}
+	state := result.State
 	if res != nil {
-		result.Result = res.View()
 		if n := res.Failures.Unstable; n > 0 {
 			m.mUnstable.Add(int64(n))
 		}
 		if res.CheckpointErr != nil {
 			m.jlog(j).Warn("checkpoint writes failed", "err", res.CheckpointErr)
 		}
-		// Reference-simulate the final design. A cancelled job's
-		// half-annealed point may fail to verify; that is a caveat on
-		// the partial result, not a job failure.
-		rep, verr := verify.Design(res.Compiled, res.X, res.State.SpecVals)
-		if verr != nil {
-			result.VerifyError = verr.Error()
-		} else {
-			vs := &VerifySummary{
-				Specs:          rep.Specs,
-				BiasIterations: rep.BiasIterations,
-				BiasConverged:  rep.BiasConverged,
-				MaxKCL:         rep.MaxKCL,
-				WorstRelErr:    rep.WorstRelErr,
-				AllMet:         true,
-			}
-			for _, row := range rep.Specs {
-				if !row.Objective && !row.Met {
-					vs.AllMet = false
-				}
-			}
-			result.Verify = vs
-		}
 	}
-	result.State = state
 
 	// Remove the crash-recovery checkpoint before the terminal state
 	// becomes observable, so "terminal ⇒ no checkpoint" holds for every
@@ -1010,6 +992,55 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 	} else {
 		m.jlog(j).Info("job finished", "state", state)
 	}
+}
+
+// BuildJobResult projects a synthesis outcome into the wire-form job
+// result: terminal-state classification, the result view, and the
+// reference-simulation verdict. It is exported because fleet workers
+// build the result next to the anneal — where the compiled problem
+// lives — and ship the finished JobResult to the coordinator.
+func BuildJobResult(id string, res *oblx.Result, runErr error) *JobResult {
+	result := &JobResult{ID: id}
+	var state State
+	switch {
+	case runErr != nil:
+		state = StateFailed
+		result.Error = runErr.Error()
+	case res == nil:
+		state = StateFailed
+		result.Error = "server: synthesis returned no result"
+	case res.Cancelled:
+		state = StateCancelled
+	default:
+		state = StateDone
+	}
+	if res != nil {
+		result.Result = res.View()
+		// Reference-simulate the final design. A cancelled job's
+		// half-annealed point may fail to verify; that is a caveat on
+		// the partial result, not a job failure.
+		rep, verr := verify.Design(res.Compiled, res.X, res.State.SpecVals)
+		if verr != nil {
+			result.VerifyError = verr.Error()
+		} else {
+			vs := &VerifySummary{
+				Specs:          rep.Specs,
+				BiasIterations: rep.BiasIterations,
+				BiasConverged:  rep.BiasConverged,
+				MaxKCL:         rep.MaxKCL,
+				WorstRelErr:    rep.WorstRelErr,
+				AllMet:         true,
+			}
+			for _, row := range rep.Specs {
+				if !row.Objective && !row.Met {
+					vs.AllMet = false
+				}
+			}
+			result.Verify = vs
+		}
+	}
+	result.State = state
+	return result
 }
 
 // retryOrPoison handles a watchdog-killed run: record the failure,
@@ -1072,7 +1103,12 @@ func (m *Manager) retryOrPoison(j *Job, cause string) {
 	delay := m.rpol.Backoff(attempt)
 	m.jlog(j).Warn("job requeued", "state", StateQueued, "backoff", delay.Round(time.Millisecond),
 		"attempt", attempt, "max_attempts", m.rpol.MaxAttempts, "cause", cause)
-	time.AfterFunc(delay, func() { m.enqueue(j) })
+	go func() {
+		if retry.Sleep(m.ctx, delay) != nil {
+			return // draining: the job stays parked queued on disk
+		}
+		m.enqueue(j)
+	}()
 }
 
 // enqueue puts a backoff-delayed job back on the run queue, unless the
@@ -1091,7 +1127,8 @@ func (m *Manager) enqueue(j *Job) {
 	m.cond.Signal()
 }
 
-// Health is the JSON body of GET /healthz.
+// Health is the JSON body of GET /healthz. docs/operations.md documents
+// the full schema.
 type Health struct {
 	// Status is "ok", "degraded" (state dir unwritable, running
 	// in-memory), or "draining" (shutting down; served with 503).
@@ -1101,12 +1138,34 @@ type Health struct {
 	Workers          int     `json:"workers"`
 	StateDirWritable bool    `json:"state_dir_writable"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
+	// Fleet carries the coordinator-mode extension: registered fleet
+	// workers with a liveness breakdown, and the claimable queue depth.
+	// Absent in standalone mode.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
+}
+
+// FleetHealth is the fleet section of /healthz in coordinator mode.
+type FleetHealth struct {
+	// Workers counts every fleet worker the coordinator has heard from.
+	Workers int `json:"workers"`
+	// WorkersByState breaks Workers down by liveness: "alive" (recent
+	// heartbeat), "suspect" (missed a few), "dead" (past the lease TTL).
+	WorkersByState map[string]int `json:"workers_by_state"`
+	// QueueDepth is the number of jobs waiting for a worker to claim.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// SetFleetHealth installs the hook that contributes the fleet section
+// of /healthz; the fleet coordinator calls it once at construction.
+func (m *Manager) SetFleetHealth(fn func() *FleetHealth) {
+	m.mu.Lock()
+	m.fleetHealth = fn
+	m.mu.Unlock()
 }
 
 // Health snapshots the manager for the health endpoint.
 func (m *Manager) Health() Health {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	h := Health{
 		Status:           "ok",
 		QueueDepth:       len(m.queue),
@@ -1121,5 +1180,36 @@ func (m *Manager) Health() Health {
 	case m.degraded:
 		h.Status = "degraded"
 	}
+	fh := m.fleetHealth
+	m.mu.Unlock()
+	if fh != nil {
+		h.Fleet = fh()
+	}
 	return h
+}
+
+// retryAfterEstimate predicts when a shed submission is worth retrying:
+// the expected queue-drain time from measured job durations (5s per job
+// until any job has finished here), clamped to [1s, 5m]. The HTTP layer
+// rounds it up into the 429 Retry-After header.
+func (m *Manager) retryAfterEstimate() time.Duration {
+	avg := 5.0
+	if n := m.mJobSecs.Count(); n > 0 {
+		avg = m.mJobSecs.Sum() / float64(n)
+	}
+	m.mu.Lock()
+	depth := len(m.queue)
+	m.mu.Unlock()
+	workers := m.opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	est := time.Duration(avg * float64(depth) / float64(workers) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
 }
