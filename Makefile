@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: ci vet build test race chaos fleet-chaos lint bench-json bench-check telemetry-guard
+.PHONY: ci vet build test race chaos fleet-chaos tenancy-chaos lint bench-json bench-check telemetry-guard
 
 # bench-check and lint are advisory in ci (benchmark timings on shared
 # CI hardware are too noisy to gate merges on, and the lint tools need
@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 # perf-sensitive changes and regenerate the baseline with bench-json
 # when a speedup or an accepted regression lands. telemetry-guard gates:
 # its allocs/eval comparison is deterministic, unlike timings.
-ci: vet build test race fleet-chaos telemetry-guard
+ci: vet build test race fleet-chaos tenancy-chaos telemetry-guard
 	-$(MAKE) bench-check
 	-$(MAKE) lint
 
@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/fleet ./internal/metrics ./internal/telemetry
+	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/fleet ./internal/metrics ./internal/telemetry ./internal/tenancy ./internal/rescache
 
 # chaos runs the fault-injection suites under the race detector: durable
 # envelope/atomic-write tests, the injector itself (filesystem and
@@ -35,7 +35,18 @@ race:
 # partition/worker-kill scenarios. Slower than `make race`; run before
 # touching the persistence or supervision layers.
 chaos:
-	$(GO) test -race -count=1 ./internal/durable ./internal/faults ./internal/retry ./internal/server ./internal/fleet
+	$(GO) test -race -count=1 ./internal/durable ./internal/faults ./internal/retry ./internal/server ./internal/fleet ./internal/tenancy ./internal/rescache
+
+# tenancy-chaos runs the multi-tenant serving drills under the race
+# detector: the key-file reload race (readers authenticating through
+# hundreds of concurrent SIGHUP-style reloads), quota exhaustion under
+# racing submissions (exactly MaxQueued admitted, never more), and
+# result-cache corruption (a flipped byte quarantines the entry and
+# re-runs the job — never a wrong answer from the cache). Run it before
+# touching the auth, scheduler, or cache layers.
+tenancy-chaos:
+	$(GO) test -race -count=1 ./internal/tenancy ./internal/rescache
+	$(GO) test -race -count=1 -run 'TestCacheCorruptionChaos|TestQuotaExhaustionConcurrentSubmits|TestCacheHitSkipsEval|TestCancelQueuedReleasesQuota' ./internal/server
 
 # fleet-chaos runs just the coordinator/worker supervision drills under
 # the race detector: heartbeat loss, partition-then-heal fencing,

@@ -22,6 +22,7 @@ import (
 func main() {
 	benchName := flag.String("bench", "", "compile a builtin benchmark instead of a file")
 	list := flag.Bool("list", false, "list builtin benchmarks")
+	hashOnly := flag.Bool("hash", false, "print the deck's canonical content hash (the oblxd result-cache key input) and exit")
 	flag.Parse()
 
 	if *list {
@@ -57,6 +58,16 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: astrx [-bench name | deck-file]")
 		os.Exit(2)
+	}
+
+	if *hashOnly {
+		h, err := netlist.CanonicalHash(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astrx:", err)
+			os.Exit(1)
+		}
+		fmt.Println(h)
+		return
 	}
 
 	deck, err := netlist.Parse(src)

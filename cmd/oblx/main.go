@@ -85,6 +85,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a flight-recorder trace (one JSON move record per line) to this file")
 	traceEvery := flag.Int("trace-every", 100, "moves between trace records (with -trace-out)")
 	stageSample := flag.Int("stage-sample", 0, "sample 1 in N evaluations for per-stage timing, printed at exit (0: off)")
+	hashOnly := flag.Bool("hash", false, "print the deck's canonical content hash (the oblxd result-cache key input) and exit")
 	flag.Parse()
 
 	if probs := flagProblems(*moves, *runs, *ckptEvery, *stageSample, *ckptPath, *resume, os.Stat); len(probs) > 0 {
@@ -118,6 +119,16 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: oblx [-bench name | deck-file] [-moves N] [-runs K] [-seed S] [-timeout D] [-checkpoint F [-resume]]")
 		os.Exit(2)
+	}
+
+	if *hashOnly {
+		h, err := netlist.CanonicalHash(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oblx:", err)
+			os.Exit(1)
+		}
+		fmt.Println(h)
+		return
 	}
 
 	deck, err := netlist.Parse(src)

@@ -33,13 +33,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"astrx/internal/fleet"
 	"astrx/internal/metrics"
+	"astrx/internal/rescache"
 	"astrx/internal/server"
 	"astrx/internal/telemetry"
+	"astrx/internal/tenancy"
 )
 
 func main() {
@@ -63,6 +66,10 @@ func main() {
 		telemSample = flag.Int("telemetry-sample", 64, "sample 1 in N evaluations for per-stage timing (0: off)")
 		flightRecs  = flag.Int("flight-records", 0, "per-job flight-recorder ring size (0: default 2048)")
 
+		apiKeysFile = flag.String("api-keys-file", "", "JSON tenant/API-key file; requests must then authenticate (empty: open mode). SIGHUP reloads it")
+		cacheMode   = flag.String("cache-mode", "off", "result cache: off, ro (serve hits, never store), or rw")
+		cacheMax    = flag.Int("cache-entries", 0, "result-cache LRU bound (0: default 4096)")
+
 		mode        = flag.String("mode", "standalone", "standalone, coordinator, or worker (see docs/operations.md)")
 		coordinator = flag.String("coordinator", "", "coordinator base URL (worker mode)")
 		workerID    = flag.String("worker-id", "", "worker name in leases and logs (worker mode; default host-pid)")
@@ -79,6 +86,7 @@ func main() {
 		maxAttempts: *maxAttempts, jobDeadline: *jobDeadline,
 		logFormat: *logFormat, logLevel: *logLevel,
 		telemSample: *telemSample, flightRecs: *flightRecs,
+		apiKeysFile: *apiKeysFile, cacheMode: *cacheMode, cacheMax: *cacheMax,
 		mode: *mode, coordinator: *coordinator, workerID: *workerID,
 		leaseTTL: *leaseTTL, hbEvery: *hbEvery,
 	}
@@ -104,6 +112,10 @@ type daemonConfig struct {
 	logFormat, logLevel string
 	telemSample         int
 	flightRecs          int
+
+	apiKeysFile string
+	cacheMode   string
+	cacheMax    int
 
 	mode, coordinator, workerID string
 	leaseTTL, hbEvery           time.Duration
@@ -150,6 +162,55 @@ func runServe(cfg daemonConfig, logger *slog.Logger) error {
 	if sample == 0 {
 		sample = -1
 	}
+
+	// Tenancy: a key file turns authentication on; without one the
+	// daemon runs open, exactly as before. SIGHUP reloads the file in
+	// place (a broken edit keeps the previous table).
+	var auth *tenancy.Authenticator
+	if cfg.apiKeysFile != "" {
+		a, err := tenancy.NewAuthenticator(cfg.apiKeysFile)
+		if err != nil {
+			return err
+		}
+		auth = a
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := a.Reload(); err != nil {
+					logger.Error("api key file reload failed, previous table kept", "err", err)
+				} else {
+					logger.Info("api key file reloaded", "path", cfg.apiKeysFile)
+				}
+			}
+		}()
+	}
+
+	// Result cache: durable alongside the job records, so hits survive
+	// restarts with the same corruption-quarantine discipline. Its
+	// metrics land on the manager's registry (one /debug/metrics page).
+	reg := metrics.New()
+	cmode, err := rescache.ParseMode(cfg.cacheMode)
+	if err != nil {
+		return err
+	}
+	var cache *rescache.Cache
+	if cmode != rescache.Off {
+		if cfg.stateDir == "" {
+			return errors.New("-cache-mode requires -state-dir (the cache is durable)")
+		}
+		cache, err = rescache.New(rescache.Options{
+			Mode:       cmode,
+			Dir:        filepath.Join(cfg.stateDir, "rescache"),
+			MaxEntries: cfg.cacheMax,
+			Registry:   reg,
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	mgr, err := server.New(server.Options{
 		StateDir:             cfg.stateDir,
 		Workers:              cfg.workers,
@@ -157,8 +218,10 @@ func runServe(cfg daemonConfig, logger *slog.Logger) error {
 		ProgressEvery:        cfg.progEvery,
 		MaxMovesLimit:        cfg.movesLimit,
 		EnableProfiling:      cfg.pprofOn,
-		Registry:             metrics.New(),
+		Registry:             reg,
 		Logger:               logger,
+		Auth:                 auth,
+		Cache:                cache,
 		TelemetrySampleEvery: sample,
 		FlightRecords:        cfg.flightRecs,
 		MaxQueue:             cfg.maxQueue,

@@ -133,3 +133,48 @@ func TestScrapeDuringRegistration(t *testing.T) {
 	close(stop)
 	writer.Wait()
 }
+
+// TestLabelValueEscaping audits exposition of hostile label values —
+// tenant names are operator-controlled strings that end up as label
+// values, so quotes, backslashes, newlines, and multibyte UTF-8 must
+// all round-trip through the text format unambiguously. Prometheus
+// text exposition requires exactly `\`, `"` and newline escaped inside
+// quoted label values; printable UTF-8 passes through raw.
+func TestLabelValueEscaping(t *testing.T) {
+	r := New()
+	cases := []struct {
+		value string
+		want  string // the escaped sample line
+	}{
+		{`plain`, `t_total{tenant="plain"} 1`},
+		{`he"said`, `t_total{tenant="he\"said"} 1`},
+		{`back\slash`, `t_total{tenant="back\\slash"} 1`},
+		{"line\nbreak", `t_total{tenant="line\nbreak"} 1`},
+		{`acmé-株式会社`, `t_total{tenant="acmé-株式会社"} 1`},
+	}
+	for _, tc := range cases {
+		r.Counter("t_total", "tenant", tc.value).Inc()
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, tc := range cases {
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("exposition missing %s\ngot:\n%s", tc.want, out)
+		}
+	}
+	// Every sample line must still be single-line and well-formed:
+	// name{...} value — a raw newline inside a label value would split
+	// a sample across lines.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "t_total{tenant=\"") || !strings.HasSuffix(line, "\"} 1") {
+			t.Errorf("malformed sample line: %q", line)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Canonical returns the canonical text of a deck: the byte sequence two
+// submissions must share to be "the same problem" for result caching.
+// It is computed lexically, exactly the way the parser reads the deck:
+//
+//   - comments ("; ..." and "* ..." lines) are stripped,
+//   - "+" continuation lines are joined into their logical line,
+//   - blank lines disappear,
+//   - runs of spaces/tabs collapse to a single space,
+//   - parenthesized port lists lose their parentheses (the tokenizer
+//     treats them as separators),
+//   - quoted expressions are re-quoted in a fixed form.
+//
+// Logical-line order is preserved — decks are programs, and reordering
+// cards can change the problem — so Canonical is whitespace- and
+// comment-insensitive but NOT card-order-insensitive. The result of
+// canonicalizing is a fixed point: Canonical(Canonical(src)) ==
+// Canonical(src).
+//
+// Canonical does not validate the deck beyond tokenization; callers that
+// need semantic validation still run Parse + Validate.
+func Canonical(src string) (string, error) {
+	var b strings.Builder
+	for _, ll := range logicalLines(src) {
+		toks, err := fields(ll.text)
+		if err != nil {
+			return "", fmt.Errorf("netlist: line %d: %s", ll.line, err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		for i, tok := range toks {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			// Tokens that came from a 'quoted expression' may carry
+			// spaces or parentheses — both are token separators — so
+			// re-quote them to make the canonical text re-tokenize
+			// identically. (A token can never contain a quote character:
+			// the tokenizer ends quoted tokens at it.)
+			if strings.ContainsAny(tok, " \t()") {
+				b.WriteByte('\'')
+				b.WriteString(tok)
+				b.WriteByte('\'')
+			} else {
+				b.WriteString(tok)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// CanonicalHash returns the hex SHA-256 of the deck's canonical text —
+// the deck half of a result-cache key. Two decks that differ only in
+// whitespace, comments, or line continuations hash identically; any
+// semantic difference (a changed value, an added card) changes the hash.
+func CanonicalHash(src string) (string, error) {
+	canon, err := Canonical(src)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:]), nil
+}

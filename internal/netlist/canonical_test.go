@@ -1,0 +1,103 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCanonicalByteStable is the determinism table: every lexical
+// variation of the same deck must canonicalize to the same bytes, and
+// therefore the same hash.
+func TestCanonicalByteStable(t *testing.T) {
+	base := `.var W1 min=2u max=500u grid
+.const Cl 1p
+.obj adm 'db(dc_gain(tf))' good=60 bad=20
+r1 a b 10k
+`
+	variants := map[string]string{
+		"extra spaces": `.var   W1	min=2u   max=500u  grid
+.const Cl 1p
+.obj adm 'db(dc_gain(tf))' good=60 bad=20
+r1 a b 10k
+`,
+		"comments and blanks": `* header comment
+
+.var W1 min=2u max=500u grid   ; geometry
+.const Cl 1p
+
+; a note
+.obj adm 'db(dc_gain(tf))' good=60 bad=20
+r1 a b 10k
+`,
+		"continuation lines": `.var W1 min=2u
++ max=500u grid
+.const Cl 1p
+.obj adm
++ 'db(dc_gain(tf))'
++ good=60 bad=20
+r1 a b 10k
+`,
+		"trailing whitespace and crlf padding": ".var W1 min=2u max=500u grid  \n.const Cl 1p\t\n.obj adm 'db(dc_gain(tf))' good=60 bad=20\nr1 a b 10k\n\n\n",
+	}
+
+	want, err := Canonical(base)
+	if err != nil {
+		t.Fatalf("Canonical(base): %v", err)
+	}
+	wantHash, err := CanonicalHash(base)
+	if err != nil {
+		t.Fatalf("CanonicalHash(base): %v", err)
+	}
+	for name, src := range variants {
+		got, err := Canonical(src)
+		if err != nil {
+			t.Fatalf("%s: Canonical: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: canonical text differs:\n got %q\nwant %q", name, got, want)
+		}
+		h, err := CanonicalHash(src)
+		if err != nil {
+			t.Fatalf("%s: CanonicalHash: %v", name, err)
+		}
+		if h != wantHash {
+			t.Errorf("%s: hash %s != base %s", name, h, wantHash)
+		}
+	}
+
+	// A semantic change must change the hash.
+	changed := strings.Replace(base, "max=500u", "max=400u", 1)
+	h, err := CanonicalHash(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == wantHash {
+		t.Error("changed deck hashes identically to the base deck")
+	}
+}
+
+// TestCanonicalFixedPoint: canonicalizing twice is the identity on the
+// first pass's output (quoted expressions must round-trip).
+func TestCanonicalFixedPoint(t *testing.T) {
+	src := `.obj adm 'db(dc_gain(tf))' good=60 bad=20
+.spec ugf 'ugf(tf)/6.2832' good=1Meg bad=10k
+m1 out in (tail tail) nmos3 w=W1 l=L1
+`
+	once, err := Canonical(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Canonical(once)
+	if err != nil {
+		t.Fatalf("re-canonicalize: %v", err)
+	}
+	if once != twice {
+		t.Errorf("not a fixed point:\n once %q\ntwice %q", once, twice)
+	}
+}
+
+func TestCanonicalRejectsUnterminatedQuote(t *testing.T) {
+	if _, err := Canonical(".obj adm 'db(dc_gain(tf)) good=60 bad=20\n"); err == nil {
+		t.Error("unterminated quote accepted")
+	}
+}

@@ -20,19 +20,26 @@ import (
 // matters: these methods never hold j.mu while acquiring m.mu, matching
 // the rest of the package.
 
-// ClaimQueued pops the oldest queued job and marks it running on behalf
-// of an external executor, skipping jobs that turned terminal while
-// queued. It returns nil when the queue is empty or the manager is
-// draining.
+// ClaimQueued pops the next fair-share-scheduled job and marks it
+// running on behalf of an external executor, skipping jobs that turned
+// terminal while queued. It returns nil when nothing is drainable
+// (every lane empty or at its tenant's running cap) or the manager is
+// draining. The fleet coordinator claims through here, so per-tenant
+// fairness governs distributed mode exactly as it governs the local
+// worker pool.
 func (m *Manager) ClaimQueued() *Job {
 	for {
 		m.mu.Lock()
-		if m.draining || len(m.queue) == 0 {
+		if m.draining {
 			m.mu.Unlock()
 			return nil
 		}
-		j := m.queue[0]
-		m.queue = m.queue[1:]
+		j, tenant, ok := m.sched.Pop()
+		if !ok {
+			m.mu.Unlock()
+			return nil
+		}
+		m.tenantQueued[tenant]--
 		m.running++
 		m.mu.Unlock()
 
@@ -41,6 +48,7 @@ func (m *Manager) ClaimQueued() *Job {
 			j.mu.Unlock()
 			m.mu.Lock()
 			m.running--
+			m.sched.DoneRunning(tenant)
 			m.mu.Unlock()
 			continue
 		}
@@ -137,6 +145,7 @@ func (m *Manager) CompleteExternal(j *Job, result *JobResult) error {
 	if err := m.persist(j); err != nil {
 		m.jlog(j).Error("persist failed", "err", err)
 	}
+	m.cacheStore(j, state, result)
 	if result.Error != "" {
 		m.jlog(j).Warn("job finished", "state", state, "err", result.Error)
 	} else {
@@ -145,6 +154,8 @@ func (m *Manager) CompleteExternal(j *Job, result *JobResult) error {
 
 	m.mu.Lock()
 	m.running--
+	m.sched.DoneRunning(j.Tenant)
+	m.cond.Signal()
 	m.mu.Unlock()
 	return nil
 }
@@ -164,6 +175,8 @@ func (m *Manager) RequeueExternal(j *Job, cause string) {
 
 	m.mu.Lock()
 	m.running--
+	m.sched.DoneRunning(j.Tenant)
+	m.cond.Signal()
 	m.mu.Unlock()
 	m.retryOrPoison(j, cause)
 }
@@ -193,10 +206,12 @@ func (m *Manager) ReleaseExternal(j *Job) {
 	}
 	m.mu.Lock()
 	m.running--
+	m.sched.DoneRunning(j.Tenant)
 	if !m.draining {
-		// Head of the queue: the job was claimed first, so FIFO order is
-		// preserved across the hand-off.
-		m.queue = append([]*Job{j}, m.queue...)
+		// Head of the tenant's lane: the job was claimed first, so
+		// per-lane FIFO order is preserved across the hand-off.
+		m.sched.PushFront(j.Tenant, j)
+		m.tenantQueued[j.Tenant]++
 		m.cond.Signal()
 	}
 	m.mu.Unlock()
@@ -257,7 +272,7 @@ func (m *Manager) SnapshotExternalFlight(j *Job, cause string) {
 func (m *Manager) QueueDepth() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return m.sched.Len()
 }
 
 // RetryPolicy exposes the manager's supervised-retry policy, so the

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,43 @@ import (
 	"strconv"
 	"strings"
 )
+
+// tenantCtxKey carries the authenticated tenant name through a
+// request's context.
+type tenantCtxKey struct{}
+
+// tenantFrom returns the tenant name the auth middleware resolved for
+// this request.
+func tenantFrom(r *http.Request) string {
+	t, _ := r.Context().Value(tenantCtxKey{}).(string)
+	return t
+}
+
+// apiKeyFrom extracts the client's API key: "Authorization: Bearer
+// <key>" preferred, "X-Api-Key: <key>" accepted.
+func apiKeyFrom(r *http.Request) string {
+	if ah := r.Header.Get("Authorization"); strings.HasPrefix(ah, "Bearer ") {
+		return strings.TrimSpace(strings.TrimPrefix(ah, "Bearer "))
+	}
+	return r.Header.Get("X-Api-Key")
+}
+
+// withAuth authenticates every /v1 request and stamps the tenant into
+// the request context. In open mode (no key file) everything resolves
+// to the default tenant — existing unauthenticated clients keep
+// working unchanged. With a key file, a missing or unknown key is 401.
+func (m *Manager) withAuth(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t, err := m.auth.Authenticate(apiKeyFrom(r))
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="oblxd"`)
+			writeErr(w, http.StatusUnauthorized, "%v", err)
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t.Name))
+		h.ServeHTTP(w, r)
+	})
+}
 
 // maxDeckBytes bounds a submitted deck; real ASTRX decks are a few KB.
 const maxDeckBytes = 1 << 20
@@ -104,6 +142,9 @@ func traceparentID(tp string) string {
 //	GET    /v1/jobs/{id}/telemetry       stage-timing breakdown + flight-recorder summary
 //	GET    /v1/jobs/{id}/telemetry/moves flight-recorder ring as JSONL, oldest first
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/batches          submit N decks as one batch of child jobs
+//	GET    /v1/batches/{id}     batch roll-up (per-state counts + child statuses)
+//	GET    /v1/batches/{id}/events aggregate SSE stream across all children
 //	GET    /debug/metrics       Prometheus text exposition
 //	GET    /debug/pprof/        runtime profiles (only with Options.EnableProfiling)
 //	GET    /healthz             JSON health detail; 200 ok/degraded, 503 draining
@@ -111,15 +152,23 @@ func traceparentID(tp string) string {
 // Every response carries an X-Request-Id header (the client's, or a
 // minted one); error responses also carry a Retry-After hint.
 func (m *Manager) Handler() http.Handler {
+	// The /v1 API runs behind tenant authentication; operational
+	// endpoints (/healthz, /debug/*) stay open for probes and scrapers.
+	api := http.NewServeMux()
+	api.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	api.HandleFunc("GET /v1/jobs", m.handleList)
+	api.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
+	api.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
+	api.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	api.HandleFunc("GET /v1/jobs/{id}/telemetry", m.handleTelemetry)
+	api.HandleFunc("GET /v1/jobs/{id}/telemetry/moves", m.handleTelemetryMoves)
+	api.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	api.HandleFunc("POST /v1/batches", m.handleBatchSubmit)
+	api.HandleFunc("GET /v1/batches/{id}", m.handleBatchStatus)
+	api.HandleFunc("GET /v1/batches/{id}/events", m.handleBatchEvents)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", m.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", m.handleTelemetry)
-	mux.HandleFunc("GET /v1/jobs/{id}/telemetry/moves", m.handleTelemetryMoves)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.Handle("/v1/", m.withAuth(api))
 	mux.Handle("GET /debug/metrics", m.reg.Handler())
 	if m.opt.EnableProfiling {
 		// The pprof handlers register themselves on http.DefaultServeMux
@@ -199,42 +248,69 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, err := m.SubmitWithRequestID(req.Deck, req.Options, r.Header.Get("X-Request-Id"))
+	j, err := m.SubmitAs(req.Deck, req.Options, r.Header.Get("X-Request-Id"), tenantFrom(r))
 	if err != nil {
-		var de *DeckError
-		switch {
-		case errors.Is(err, ErrDraining):
-			writeErr(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, ErrQueueFull):
-			// Hint when the queue is actually expected to drain, not a
-			// fixed constant.
-			secs := int(math.Ceil(m.retryAfterEstimate().Seconds()))
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeErr(w, http.StatusTooManyRequests, "%v", err)
-		case errors.As(err, &de):
-			writeErr(w, http.StatusBadRequest, "%v", de.Err)
-		default:
-			writeErr(w, http.StatusInternalServerError, "%v", err)
-		}
+		m.writeSubmitErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
-	writeJSON(w, http.StatusAccepted, j.Status())
+	code := http.StatusAccepted
+	if j.State().terminal() { // instant cache hit
+		code = http.StatusOK
+	}
+	writeJSON(w, code, j.Status())
+}
+
+// writeSubmitErr maps a Submit error onto its HTTP status: 503 while
+// draining, 429 (+ Retry-After from the backlog estimator) for a full
+// queue or an exhausted tenant quota, 400 for bad decks.
+func (m *Manager) writeSubmitErr(w http.ResponseWriter, err error) {
+	var de *DeckError
+	var qe *QuotaError
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQueueFull), errors.As(err, &qe):
+		// Hint when the queue is actually expected to drain, not a
+		// fixed constant.
+		secs := int(math.Ceil(m.retryAfterEstimate().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case errors.As(err, &de):
+		writeErr(w, http.StatusBadRequest, "%v", de.Err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := m.Jobs()
+	tenant := tenantFrom(r)
 	out := make([]*Status, 0, len(jobs))
 	for _, j := range jobs {
-		out = append(out, j.Status())
+		if m.visibleTo(j, tenant) {
+			out = append(out, j.Status())
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// jobOr404 resolves the {id} path value.
+// visibleTo scopes job visibility: with authentication on, a tenant
+// sees only its own jobs; open mode sees everything (including jobs
+// recovered from records written under authenticated incarnations).
+func (m *Manager) visibleTo(j *Job, tenant string) bool {
+	return m.auth.OpenMode() || j.Tenant == tenant
+}
+
+// jobOr404 resolves the {id} path value, scoped to the requesting
+// tenant — another tenant's job is indistinguishable from a missing
+// one.
 func (m *Manager) jobOr404(w http.ResponseWriter, r *http.Request) *Job {
 	id := r.PathValue("id")
 	j := m.Get(id)
+	if j != nil && !m.visibleTo(j, tenantFrom(r)) {
+		j = nil
+	}
 	if j == nil {
 		writeErr(w, http.StatusNotFound, "no job %q", id)
 	}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -35,8 +36,10 @@ import (
 	"astrx/internal/metrics"
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
+	"astrx/internal/rescache"
 	"astrx/internal/retry"
 	"astrx/internal/telemetry"
+	"astrx/internal/tenancy"
 	"astrx/internal/verify"
 )
 
@@ -147,6 +150,13 @@ type Job struct {
 	Deck    string
 	Options JobOptions
 	Created time.Time
+	// Tenant names the submitting principal (tenancy.DefaultTenantName
+	// in open mode). Immutable after creation.
+	Tenant string
+	// DeckHash is the canonical content hash of the deck (the same value
+	// `astrx -hash` prints) — whitespace- and comment-insensitive, so
+	// identical logical decks share it. Immutable after creation.
+	DeckHash string
 
 	mu       sync.Mutex
 	state    State
@@ -190,6 +200,12 @@ type Job struct {
 	// the first run attempt; nil for jobs that never ran under this
 	// daemon incarnation.
 	telem *jobTelemetry
+	// cacheKey is the result-cache key for this job's (deck, options)
+	// pair; empty when the deck failed to canonicalize. Immutable.
+	cacheKey string
+	// cacheHit marks a job completed instantly from the result cache —
+	// it never consumed a worker or an evaluation.
+	cacheHit bool
 }
 
 // State returns the job's current lifecycle state.
@@ -201,9 +217,17 @@ func (j *Job) State() State {
 
 // Status is the wire form of a job's current state (GET /v1/jobs/{id}).
 type Status struct {
-	ID       string     `json:"id"`
-	State    State      `json:"state"`
-	Error    string     `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Tenant is the submitting principal ("default" in open mode).
+	Tenant string `json:"tenant,omitempty"`
+	// DeckHash is the deck's canonical content hash; two submissions
+	// with the same hash ran the same logical netlist.
+	DeckHash string `json:"deck_hash,omitempty"`
+	// CacheHit marks a job served from the result cache without
+	// consuming a worker or an evaluation.
+	CacheHit bool       `json:"cache_hit,omitempty"`
 	Options  JobOptions `json:"options"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -223,6 +247,7 @@ func (j *Job) Status() *Status {
 	defer j.mu.Unlock()
 	s := &Status{
 		ID: j.ID, State: j.state, Error: j.err,
+		Tenant: j.Tenant, DeckHash: j.DeckHash, CacheHit: j.cacheHit,
 		Options: j.Options, Created: j.Created,
 	}
 	if !j.started.IsZero() {
@@ -307,6 +332,18 @@ type DeckError struct{ Err error }
 func (e *DeckError) Error() string { return e.Err.Error() }
 func (e *DeckError) Unwrap() error { return e.Err }
 
+// QuotaError is a per-tenant admission rejection (lane full, or the
+// evaluation-rate budget overdrawn); the HTTP layer maps it to 429 with
+// a Retry-After estimate, leaving other tenants unaffected.
+type QuotaError struct {
+	Tenant string
+	Reason string
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("server: tenant %q over quota: %s", e.Tenant, e.Reason)
+}
+
 // Options configures a Manager.
 type Options struct {
 	// StateDir persists jobs and checkpoints for restart recovery.
@@ -365,6 +402,16 @@ type Options struct {
 	// one). Chaos tests substitute a fault-injecting wrapper.
 	FS durable.FS
 
+	// Auth authenticates API keys and supplies per-tenant quotas and
+	// fair-share weights (nil → open mode: every request maps to the
+	// unlimited default tenant, which is exactly the pre-tenancy
+	// behavior).
+	Auth *tenancy.Authenticator
+	// Cache is the content-addressed result cache (nil → caching off).
+	// Identical (deck, options) resubmissions complete instantly from
+	// the cached result without consuming a worker or an evaluation.
+	Cache *rescache.Cache
+
 	// ExternalExec hands job execution to an external fleet: the manager
 	// keeps owning the durable job store, the queue, and the event
 	// streams, but spawns no local synthesis workers and no stall
@@ -384,13 +431,28 @@ type Manager struct {
 	log   *slog.Logger
 	start time.Time
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	jobs     map[string]*Job
-	queue    []*Job
-	running  int
-	draining bool
-	degraded bool
+	auth  *tenancy.Authenticator
+	cache *rescache.Cache
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[string]*Job
+	// sched replaced the single FIFO queue: per-tenant FIFO lanes
+	// drained by weighted deficit round-robin. With one tenant (open
+	// mode) it degenerates to the FIFO it replaced. Guarded by mu.
+	sched *tenancy.Scheduler[*Job]
+	// tenantQueued counts admitted-but-not-yet-running jobs per tenant,
+	// including the window where a submission is persisting before its
+	// enqueue, so concurrent submits cannot overshoot MaxQueued.
+	tenantQueued map[string]int
+	// tenantsSeen guards one-time per-tenant metric registration.
+	tenantsSeen map[string]bool
+	// batches groups child jobs of POST /v1/batches (in-memory; the
+	// children themselves are durable).
+	batches map[string]*Batch
+	running     int
+	draining    bool
+	degraded    bool
 	// fleetHealth, when set (SetFleetHealth), contributes the fleet
 	// section of /healthz in coordinator mode.
 	fleetHealth func() *FleetHealth
@@ -447,15 +509,25 @@ func New(opt Options) (*Manager, error) {
 	if fsys == nil {
 		fsys = durable.OS
 	}
-	m := &Manager{
-		opt:   opt,
-		reg:   reg,
-		fsys:  fsys,
-		rpol:  rpol,
-		log:   lg,
-		start: time.Now(),
-		jobs:  make(map[string]*Job),
+	auth := opt.Auth
+	if auth == nil {
+		auth = tenancy.Open()
 	}
+	m := &Manager{
+		opt:          opt,
+		reg:          reg,
+		fsys:         fsys,
+		rpol:         rpol,
+		log:          lg,
+		start:        time.Now(),
+		auth:         auth,
+		cache:        opt.Cache,
+		jobs:         make(map[string]*Job),
+		tenantQueued: make(map[string]int),
+		tenantsSeen:  make(map[string]bool),
+		batches:      make(map[string]*Batch),
+	}
+	m.sched = tenancy.NewScheduler[*Job](auth.Limits)
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 
@@ -472,7 +544,7 @@ func New(opt Options) (*Manager, error) {
 	reg.GaugeFunc("oblxd_queue_depth", func() float64 {
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		return float64(len(m.queue))
+		return float64(m.sched.Len())
 	})
 	reg.SetHelp("oblxd_queue_depth", "jobs waiting for a worker")
 	for _, st := range allStates {
@@ -557,12 +629,67 @@ func newID() string {
 // shutdown Submit returns ErrDraining; when the bounded queue is at
 // capacity it returns ErrQueueFull.
 func (m *Manager) Submit(deckSrc string, opt JobOptions) (*Job, error) {
-	return m.SubmitWithRequestID(deckSrc, opt, "")
+	return m.SubmitAs(deckSrc, opt, "", "")
 }
 
 // SubmitWithRequestID is Submit tagged with the submitting request's
 // X-Request-Id, echoed in the job's log lines for correlation.
 func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID string) (*Job, error) {
+	return m.SubmitAs(deckSrc, opt, requestID, "")
+}
+
+// cacheKeyFor computes a deck's canonical content hash and the
+// result-cache key of the (deck, options) pair. The key covers exactly
+// what determines the synthesis outcome: the canonical deck (circuit,
+// specs, variables) and the solver options — not ProgressEvery, which
+// only shapes telemetry.
+func cacheKeyFor(deckSrc string, opt JobOptions) (deckHash, key string, err error) {
+	canon, err := netlist.Canonical(deckSrc)
+	if err != nil {
+		return "", "", err
+	}
+	deckHash, err = netlist.CanonicalHash(deckSrc)
+	if err != nil {
+		return "", "", err
+	}
+	key = rescache.Key(canon, rescache.KeyOptions{
+		Seed: opt.Seed, MaxMoves: opt.MaxMoves, Runs: opt.Runs, NoFreeze: opt.NoFreeze,
+	})
+	return deckHash, key, nil
+}
+
+// ensureTenantMetrics registers the per-tenant gauges once per tenant.
+// Must be called without m.mu held: the registered func takes m.mu, so
+// registering under it would invert the registry→manager lock order
+// the exposition path establishes.
+func (m *Manager) ensureTenantMetrics(tenant string) {
+	m.mu.Lock()
+	seen := m.tenantsSeen[tenant]
+	m.tenantsSeen[tenant] = true
+	m.mu.Unlock()
+	if seen {
+		return
+	}
+	t := tenant
+	m.reg.GaugeFunc("oblxd_tenant_queue_depth", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.sched.Depth(t))
+	}, "tenant", t)
+	m.reg.SetHelp("oblxd_tenant_queue_depth", "jobs waiting in each tenant's lane")
+}
+
+// SubmitAs is the tenant-aware submit path: the job lands in the
+// tenant's fair-share lane after clearing the tenant's quota (queued
+// bound and evaluation-rate budget → *QuotaError, HTTP 429) and, when
+// a result cache is configured, the cache — an identical (deck,
+// options) resubmission completes instantly from the cached result
+// without consuming a worker or a single evaluation. Empty tenant →
+// the default tenant (open mode).
+func (m *Manager) SubmitAs(deckSrc string, opt JobOptions, requestID, tenant string) (*Job, error) {
+	if tenant == "" {
+		tenant = tenancy.DefaultTenantName
+	}
 	d, err := netlist.Parse(deckSrc)
 	if err != nil {
 		return nil, &DeckError{Err: err}
@@ -575,16 +702,36 @@ func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID 
 		return nil, &DeckError{Err: fmt.Errorf("server: max_moves %d exceeds the daemon limit %d",
 			opt.MaxMoves, m.opt.MaxMovesLimit)}
 	}
+	// A deck that parses always canonicalizes; treat failure as a deck
+	// error rather than guessing at a key.
+	deckHash, cacheKey, err := cacheKeyFor(deckSrc, opt)
+	if err != nil {
+		return nil, &DeckError{Err: err}
+	}
+	m.ensureTenantMetrics(tenant)
 
 	j := &Job{
 		ID:        newID(),
 		Deck:      deckSrc,
 		Options:   opt,
 		Created:   time.Now(),
+		Tenant:    tenant,
+		DeckHash:  deckHash,
 		state:     StateQueued,
 		bestCost:  math.NaN(),
 		requestID: requestID,
+		cacheKey:  cacheKey,
 	}
+
+	// Cache lookup precedes quota admission: a hit consumes no queue
+	// slot, no worker, and no evaluation budget.
+	if m.Draining() {
+		return nil, ErrDraining
+	}
+	if payload, ok := m.cache.Get(cacheKey); ok {
+		return m.completeFromCache(j, payload)
+	}
+
 	j.events = append(j.events, Event{Type: "state", State: StateQueued})
 
 	m.mu.Lock()
@@ -592,13 +739,35 @@ func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID 
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if m.opt.MaxQueue > 0 && len(m.queue) >= m.opt.MaxQueue {
+	if m.opt.MaxQueue > 0 && m.sched.Len() >= m.opt.MaxQueue {
 		m.mu.Unlock()
 		m.mShed.Inc()
 		return nil, ErrQueueFull
 	}
+	// tenantQueued (not sched.Depth) is the admission count: it already
+	// includes concurrent submissions still persisting below, so racing
+	// submits cannot overshoot the tenant's bound.
+	if t := m.auth.Tenant(tenant); t != nil {
+		if q := t.Quota.MaxQueued; q > 0 && m.tenantQueued[tenant] >= q {
+			m.mu.Unlock()
+			m.mShed.Inc()
+			return nil, &QuotaError{Tenant: tenant,
+				Reason: fmt.Sprintf("max_queued %d reached", q)}
+		}
+	}
+	m.tenantQueued[tenant]++
 	m.jobs[j.ID] = j
 	m.mu.Unlock()
+
+	// The rate budget charges the job's worst-case evaluation count.
+	if !m.auth.AllowEvals(tenant, float64(opt.MaxMoves)*float64(opt.Runs)) {
+		m.mu.Lock()
+		m.tenantQueued[tenant]--
+		delete(m.jobs, j.ID)
+		m.mu.Unlock()
+		m.mShed.Inc()
+		return nil, &QuotaError{Tenant: tenant, Reason: "evaluation budget exhausted"}
+	}
 
 	// Persist the queued record before the job becomes runnable, so a
 	// worker can never transition a job that has no record on disk.
@@ -607,13 +776,50 @@ func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID 
 	}
 
 	m.mu.Lock()
-	m.queue = append(m.queue, j)
+	m.sched.Push(tenant, j)
 	m.cond.Signal()
 	m.mu.Unlock()
 
 	m.mSubmitted.Inc()
+	m.reg.Counter("oblxd_jobs_total", "tenant", tenant).Inc()
+	m.reg.SetHelp("oblxd_jobs_total", "jobs accepted, by tenant")
 	m.jlog(j).Info("job queued", "state", StateQueued,
 		"moves", opt.MaxMoves, "runs", opt.Runs, "seed", opt.Seed)
+	return j, nil
+}
+
+// completeFromCache finishes a submission as an instant cache hit: the
+// job record is terminal from birth (state done, cache_hit), its event
+// stream is a single terminal event, and no worker, queue slot, or
+// evaluation is consumed.
+func (m *Manager) completeFromCache(j *Job, payload []byte) (*Job, error) {
+	var result JobResult
+	if err := json.Unmarshal(payload, &result); err != nil {
+		// A quarantine-worthy payload should have been caught by the
+		// cache's own verification; treat it as an internal error rather
+		// than silently re-running.
+		return nil, fmt.Errorf("server: corrupt cache payload for key %s: %w", j.cacheKey, err)
+	}
+	result.ID = j.ID
+	now := time.Now()
+	j.state = result.State
+	j.err = result.Error
+	j.finished = now
+	j.result = &result
+	j.cacheHit = true
+	j.events = []Event{{Type: "state", State: result.State, Error: result.Error}}
+
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.mu.Unlock()
+
+	if err := m.persist(j); err != nil {
+		m.jlog(j).Error("persist failed", "err", err)
+	}
+	m.mSubmitted.Inc()
+	m.reg.Counter("oblxd_jobs_total", "tenant", j.Tenant).Inc()
+	m.reg.Counter("oblxd_jobs_finished_total", "state", string(result.State)).Inc()
+	m.jlog(j).Info("job completed from cache", "state", result.State, "deck_hash", j.DeckHash)
 	return j, nil
 }
 
@@ -623,6 +829,9 @@ func (m *Manager) SubmitWithRequestID(deckSrc string, opt JobOptions, requestID 
 // safe.
 func (m *Manager) jlog(j *Job) *slog.Logger {
 	lg := m.log.With("job", j.ID)
+	if j.Tenant != "" {
+		lg = lg.With("tenant", j.Tenant)
+	}
 	if j.requestID != "" {
 		lg = lg.With("req", j.requestID)
 	}
@@ -664,12 +873,12 @@ func (m *Manager) Cancel(id string) error {
 		m.mu.Unlock()
 		return fmt.Errorf("server: no job %s", id)
 	}
-	// Remove from the queue if still waiting.
-	for i, q := range m.queue {
-		if q == j {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			break
-		}
+	// Remove from the lane if still waiting. The tenant's MaxQueued
+	// quota frees right here, not when a worker would have reached the
+	// job — cancelling queued work must immediately make room for new
+	// submissions.
+	if m.sched.Remove(j.Tenant, j) {
+		m.tenantQueued[j.Tenant]--
 	}
 	m.mu.Unlock()
 
@@ -733,20 +942,31 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker pulls jobs FIFO until shutdown.
+// worker pulls jobs off the fair-share scheduler until shutdown. Pop
+// can decline with jobs still queued (every backlogged lane at its
+// tenant's running cap), so the wait condition is "Pop succeeded", not
+// "queue non-empty" — DoneRunning signals the cond when a slot frees.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.draining {
+		var (
+			j      *Job
+			tenant string
+		)
+		for !m.draining {
+			var ok bool
+			j, tenant, ok = m.sched.Pop()
+			if ok {
+				break
+			}
 			m.cond.Wait()
 		}
 		if m.draining {
 			m.mu.Unlock()
 			return
 		}
-		j := m.queue[0]
-		m.queue = m.queue[1:]
+		m.tenantQueued[tenant]--
 		m.running++
 		m.mu.Unlock()
 
@@ -754,6 +974,10 @@ func (m *Manager) worker() {
 
 		m.mu.Lock()
 		m.running--
+		m.sched.DoneRunning(tenant)
+		// The freed running slot may unblock a lane capped at
+		// MaxRunning; wake a waiter to re-check.
+		m.cond.Signal()
 		m.mu.Unlock()
 	}
 }
@@ -987,11 +1211,27 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 	if err := m.persist(j); err != nil {
 		m.jlog(j).Error("persist failed", "err", err)
 	}
+	m.cacheStore(j, state, result)
 	if result.Error != "" {
 		m.jlog(j).Warn("job finished", "state", state, "err", result.Error)
 	} else {
 		m.jlog(j).Info("job finished", "state", state)
 	}
+}
+
+// cacheStore records a successfully finished job's result in the
+// result cache (rw mode only; no-op otherwise). Only clean StateDone
+// outcomes are cacheable — a cancelled or failed run's partial result
+// must never be served as the answer to a fresh submission.
+func (m *Manager) cacheStore(j *Job, state State, result *JobResult) {
+	if state != StateDone || result == nil || j.cacheKey == "" {
+		return
+	}
+	data, err := json.Marshal(result)
+	if err != nil {
+		return
+	}
+	m.cache.Put(j.cacheKey, data)
 }
 
 // BuildJobResult projects a synthesis outcome into the wire-form job
@@ -1123,7 +1363,8 @@ func (m *Manager) enqueue(j *Job) {
 	if m.draining {
 		return
 	}
-	m.queue = append(m.queue, j)
+	m.sched.Push(j.Tenant, j)
+	m.tenantQueued[j.Tenant]++
 	m.cond.Signal()
 }
 
@@ -1168,7 +1409,7 @@ func (m *Manager) Health() Health {
 	m.mu.Lock()
 	h := Health{
 		Status:           "ok",
-		QueueDepth:       len(m.queue),
+		QueueDepth:       m.sched.Len(),
 		WorkersBusy:      m.running,
 		Workers:          m.opt.Workers,
 		StateDirWritable: m.opt.StateDir != "" && !m.degraded,
@@ -1198,7 +1439,7 @@ func (m *Manager) retryAfterEstimate() time.Duration {
 		avg = m.mJobSecs.Sum() / float64(n)
 	}
 	m.mu.Lock()
-	depth := len(m.queue)
+	depth := m.sched.Len()
 	m.mu.Unlock()
 	workers := m.opt.Workers
 	if workers < 1 {

@@ -13,6 +13,7 @@ import (
 
 	"astrx/internal/durable"
 	"astrx/internal/oblx"
+	"astrx/internal/tenancy"
 )
 
 // jobRecord is the on-disk form of a job (job-<id>.json in the state
@@ -42,11 +43,20 @@ type jobRecord struct {
 	// the whole lifecycle stays greppable by one ID. Optional, so
 	// version-2 records from before the field are still valid.
 	RequestID string `json:"request_id,omitempty"`
+	// Tenant names the submitting principal; empty (pre-v3 records)
+	// recovers as the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// DeckHash is the deck's canonical content hash.
+	DeckHash string `json:"deck_hash,omitempty"`
+	// CacheHit marks a job that completed instantly from the result
+	// cache, so the distinction survives a restart.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
-// jobRecordVersion 2 added the envelope seal and the supervision fields.
-// Version-1 records (raw JSON) are still readable.
-const jobRecordVersion = 2
+// jobRecordVersion 3 added the tenancy and result-cache fields; 2 added
+// the envelope seal and the supervision fields. Version-1 records (raw
+// JSON) and version-2 records are still readable.
+const jobRecordVersion = 3
 
 // quarantineDir is where the startup fsck moves files it refuses to
 // trust, relative to the state directory.
@@ -83,6 +93,9 @@ func (m *Manager) persist(j *Job) error {
 		Attempts:  j.attempts,
 		History:   j.history,
 		RequestID: j.requestID,
+		Tenant:    j.Tenant,
+		DeckHash:  j.DeckHash,
+		CacheHit:  j.cacheHit,
 	}
 	j.mu.Unlock()
 
@@ -216,18 +229,33 @@ func (m *Manager) recover() error {
 			m.quarantine(name, fmt.Sprintf("duplicate job ID %s", rec.ID))
 			continue
 		}
+		tenant := rec.Tenant
+		if tenant == "" {
+			tenant = tenancy.DefaultTenantName
+		}
 		j := &Job{
 			ID:        rec.ID,
 			Deck:      rec.Deck,
 			Options:   rec.Options,
 			Created:   rec.Created,
+			Tenant:    tenant,
+			DeckHash:  rec.DeckHash,
 			state:     rec.State,
 			err:       rec.Error,
 			result:    rec.Result,
 			attempts:  rec.Attempts,
 			history:   rec.History,
 			requestID: rec.RequestID,
+			cacheHit:  rec.CacheHit,
 			bestCost:  math.NaN(),
+		}
+		// Recompute the cache key (and a missing hash) so a recovered
+		// job's eventual result still lands in the cache.
+		if dh, ck, err := cacheKeyFor(rec.Deck, rec.Options); err == nil {
+			j.cacheKey = ck
+			if j.DeckHash == "" {
+				j.DeckHash = dh
+			}
 		}
 		switch rec.State {
 		case StateDone, StateFailed, StateCancelled, StatePoisoned:
@@ -270,11 +298,17 @@ func (m *Manager) recover() error {
 		}
 	}
 
-	// Requeue in original submission order.
+	// Requeue in original submission order; pushing in global Created
+	// order rebuilds every tenant's lane in its own Created order, so
+	// per-lane FIFO survives the restart.
 	sort.Slice(requeue, func(a, b int) bool {
 		return requeue[a].Created.Before(requeue[b].Created)
 	})
-	m.queue = append(m.queue, requeue...)
+	for _, j := range requeue {
+		m.ensureTenantMetrics(j.Tenant)
+		m.sched.Push(j.Tenant, j)
+		m.tenantQueued[j.Tenant]++
+	}
 	if n := len(requeue); n > 0 {
 		m.log.Info("recovered pending jobs", "count", n, "dir", m.opt.StateDir)
 	}

@@ -1,0 +1,204 @@
+package tenancy
+
+// Limits are the scheduling parameters of one tenant's lane.
+type Limits struct {
+	// Weight is the deficit-round-robin quantum (≥ 1): jobs drained per
+	// replenish cycle while backlogged.
+	Weight int
+	// MaxRunning caps the tenant's concurrently running jobs
+	// (0 → unlimited); a lane at its cap is skipped, not drained.
+	MaxRunning int
+}
+
+// lane is one tenant's FIFO queue plus its DRR deficit counter.
+type lane[T comparable] struct {
+	items   []T
+	deficit int
+}
+
+// Scheduler is a weighted deficit-round-robin fair-share queue:
+// per-tenant FIFO lanes, drained in proportion to tenant weights, with
+// per-tenant running caps. With a single tenant it degenerates to the
+// plain FIFO it replaced — same pop order, same semantics.
+//
+// The scheduler is NOT internally locked: the job manager already
+// serializes queue access under its own mutex, and double-locking
+// would only hide ordering bugs. All methods must be called under the
+// owner's lock.
+type Scheduler[T comparable] struct {
+	limits func(tenant string) Limits
+
+	lanes map[string]*lane[T]
+	// order fixes the lane scan sequence (insertion order) so draining
+	// is deterministic; lanes are never removed — tenant cardinality is
+	// bounded by the key file.
+	order  []string
+	cursor int
+
+	running map[string]int
+	queued  int
+}
+
+// NewScheduler builds a scheduler; limits supplies each tenant's
+// weight and running cap at drain time (nil → weight 1, no cap), so a
+// key-file reload changes behavior without rebuilding lanes.
+func NewScheduler[T comparable](limits func(tenant string) Limits) *Scheduler[T] {
+	if limits == nil {
+		limits = func(string) Limits { return Limits{Weight: 1} }
+	}
+	return &Scheduler[T]{
+		limits:  limits,
+		lanes:   make(map[string]*lane[T]),
+		running: make(map[string]int),
+	}
+}
+
+func (s *Scheduler[T]) lane(tenant string) *lane[T] {
+	l := s.lanes[tenant]
+	if l == nil {
+		l = &lane[T]{}
+		s.lanes[tenant] = l
+		s.order = append(s.order, tenant)
+	}
+	return l
+}
+
+// Push appends an item to the tenant's lane.
+func (s *Scheduler[T]) Push(tenant string, item T) {
+	l := s.lane(tenant)
+	l.items = append(l.items, item)
+	s.queued++
+}
+
+// PushFront returns an item to the head of the tenant's lane — the
+// graceful-release path, where the job was claimed first and must be
+// claimed first again.
+func (s *Scheduler[T]) PushFront(tenant string, item T) {
+	l := s.lane(tenant)
+	l.items = append([]T{item}, l.items...)
+	s.queued++
+}
+
+// Pop drains the next item under weighted deficit round-robin,
+// skipping lanes whose tenant is at its running cap, and counts the
+// item as running for its tenant (undo with DoneRunning). ok is false
+// when nothing is drainable — every lane empty or capped.
+func (s *Scheduler[T]) Pop() (item T, tenant string, ok bool) {
+	var zero T
+	if s.queued == 0 || len(s.order) == 0 {
+		return zero, "", false
+	}
+	// At most two full passes: one spending existing deficits, then a
+	// replenish and one more. Two replenishes cannot both yield nothing
+	// unless every non-empty lane is capped.
+	for round := 0; round < 2; round++ {
+		for scanned := 0; scanned < len(s.order); scanned++ {
+			t := s.order[s.cursor]
+			l := s.lanes[t]
+			if len(l.items) == 0 {
+				// An empty lane's deficit resets: credit must not hoard
+				// across idle periods or a returning tenant would burst
+				// past its share.
+				l.deficit = 0
+				s.cursor = (s.cursor + 1) % len(s.order)
+				continue
+			}
+			lim := s.limits(t)
+			if lim.MaxRunning > 0 && s.running[t] >= lim.MaxRunning {
+				s.cursor = (s.cursor + 1) % len(s.order)
+				continue
+			}
+			if l.deficit > 0 {
+				l.deficit--
+				item = l.items[0]
+				l.items = l.items[1:]
+				s.queued--
+				if len(l.items) == 0 {
+					l.deficit = 0
+				}
+				s.running[t]++
+				// Exhausted deficit → move on, so the next Pop serves the
+				// next lane instead of re-scanning from this one.
+				if l.deficit == 0 {
+					s.cursor = (s.cursor + 1) % len(s.order)
+				}
+				return item, t, true
+			}
+			s.cursor = (s.cursor + 1) % len(s.order)
+		}
+		// Full pass with nothing drainable on deficit: replenish every
+		// backlogged, uncapped lane by its weight and try once more.
+		replenished := false
+		for _, t := range s.order {
+			l := s.lanes[t]
+			if len(l.items) == 0 {
+				continue
+			}
+			lim := s.limits(t)
+			if lim.MaxRunning > 0 && s.running[t] >= lim.MaxRunning {
+				continue
+			}
+			w := lim.Weight
+			if w <= 0 {
+				w = 1
+			}
+			l.deficit += w
+			replenished = true
+		}
+		if !replenished {
+			return zero, "", false
+		}
+	}
+	return zero, "", false
+}
+
+// DoneRunning releases one running slot for the tenant — call exactly
+// once per successful Pop, when the item finishes, fails, is released,
+// or turns out to have been cancelled while queued.
+func (s *Scheduler[T]) DoneRunning(tenant string) {
+	if s.running[tenant] > 0 {
+		s.running[tenant]--
+	}
+}
+
+// Remove deletes a queued item from its tenant's lane (the
+// cancel-while-queued path). The tenant's queue depth — and with it
+// the MaxQueued quota — frees immediately, not at drain time.
+func (s *Scheduler[T]) Remove(tenant string, item T) bool {
+	l := s.lanes[tenant]
+	if l == nil {
+		return false
+	}
+	for i, it := range l.items {
+		if it == item {
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			s.queued--
+			if len(l.items) == 0 {
+				l.deficit = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Len is the total queued count across lanes.
+func (s *Scheduler[T]) Len() int { return s.queued }
+
+// Depth is one tenant's queued count.
+func (s *Scheduler[T]) Depth(tenant string) int {
+	if l := s.lanes[tenant]; l != nil {
+		return len(l.items)
+	}
+	return 0
+}
+
+// Running is one tenant's running count.
+func (s *Scheduler[T]) Running(tenant string) int { return s.running[tenant] }
+
+// Tenants lists every lane ever created, in creation order.
+func (s *Scheduler[T]) Tenants() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}

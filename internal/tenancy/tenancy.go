@@ -1,0 +1,256 @@
+// Package tenancy is oblxd's multi-tenant serving layer: API-key
+// authentication, per-tenant quotas, and the fair-share scheduler that
+// replaces the daemon's single FIFO queue.
+//
+// A daemon serving heavy traffic from many users needs to know *who*
+// submitted each job — so one tenant's parameter sweep can be rate-
+// limited and fair-shared instead of starving everyone else — and the
+// unit of identity is the tenant: a named principal with one or more
+// API keys, a scheduling weight, and a quota (max queued jobs, max
+// concurrently running jobs, an evaluation-rate budget).
+//
+// Tenants come from a JSON key file (-api-keys-file), reloaded on
+// SIGHUP without a restart. No key file → "open mode": every request
+// maps to the built-in default tenant with unlimited quota, which is
+// byte-for-byte the pre-tenancy behavior.
+package tenancy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultTenantName is the tenant every request maps to in open mode
+// (no key file configured).
+const DefaultTenantName = "default"
+
+// Quota bounds one tenant's load on the daemon. Zero fields mean
+// unlimited — the default tenant's quota is all zeros.
+type Quota struct {
+	// MaxQueued bounds jobs waiting in this tenant's lane; submissions
+	// beyond it get 429 with a Retry-After estimate.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning bounds this tenant's concurrently running jobs; the
+	// scheduler holds further jobs in the lane until one finishes.
+	MaxRunning int `json:"max_running,omitempty"`
+	// EvalsPerSec budgets the tenant's long-run evaluation rate. Each
+	// submission charges its requested move budget against a token
+	// bucket refilled at this rate; an overdrawn bucket rejects the
+	// submission (429) until it refills.
+	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+}
+
+// Tenant is one named principal.
+type Tenant struct {
+	Name string `json:"name"`
+	// Keys are the API keys that authenticate as this tenant.
+	Keys []string `json:"keys"`
+	// Weight is the fair-share scheduling weight (0 → 1): a weight-3
+	// tenant drains three jobs for every one of a weight-1 tenant when
+	// both are backlogged.
+	Weight int   `json:"weight,omitempty"`
+	Quota  Quota `json:"quota,omitempty"`
+}
+
+// keyFile is the -api-keys-file schema. See docs/operations.md.
+type keyFile struct {
+	Tenants []*Tenant `json:"tenants"`
+}
+
+// Authentication errors. The HTTP layer maps both to 401.
+var (
+	ErrNoKey      = errors.New("tenancy: request carries no API key")
+	ErrUnknownKey = errors.New("tenancy: unknown API key")
+)
+
+// Authenticator maps API keys to tenants and owns the per-tenant
+// rate-budget buckets. Safe for concurrent use; Reload swaps the key
+// table atomically under writers.
+type Authenticator struct {
+	path string
+	// now is the clock seam for bucket tests.
+	now func() time.Time
+
+	mu     sync.RWMutex
+	open   bool
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	// buckets persist across reloads so a reload cannot be used to
+	// reset a tenant's spent budget.
+	buckets map[string]*bucket
+}
+
+// Open returns an open-mode authenticator: every key (including none)
+// authenticates as the unlimited default tenant.
+func Open() *Authenticator {
+	return &Authenticator{
+		now:     time.Now,
+		open:    true,
+		byKey:   map[string]*Tenant{},
+		byName:  map[string]*Tenant{DefaultTenantName: {Name: DefaultTenantName, Weight: 1}},
+		buckets: map[string]*bucket{},
+	}
+}
+
+// NewAuthenticator loads the key file at path. Unlike Reload, a broken
+// file at startup is a hard error: better to refuse to start than to
+// silently run open.
+func NewAuthenticator(path string) (*Authenticator, error) {
+	a := &Authenticator{
+		path:    path,
+		now:     time.Now,
+		byKey:   map[string]*Tenant{},
+		byName:  map[string]*Tenant{},
+		buckets: map[string]*bucket{},
+	}
+	if err := a.Reload(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Reload re-reads the key file (the SIGHUP path). On any error the
+// previous table stays in effect and the error is returned for
+// logging — a fat-fingered edit must not lock every tenant out.
+func (a *Authenticator) Reload() error {
+	if a.path == "" {
+		return nil // open mode has nothing to reload
+	}
+	data, err := os.ReadFile(a.path)
+	if err != nil {
+		return fmt.Errorf("tenancy: read key file: %w", err)
+	}
+	var kf keyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return fmt.Errorf("tenancy: parse key file %s: %w", a.path, err)
+	}
+	byKey := make(map[string]*Tenant)
+	byName := make(map[string]*Tenant)
+	for i, t := range kf.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("tenancy: key file %s: tenant %d has no name", a.path, i)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return fmt.Errorf("tenancy: key file %s: duplicate tenant %q", a.path, t.Name)
+		}
+		if len(t.Keys) == 0 {
+			return fmt.Errorf("tenancy: key file %s: tenant %q has no keys", a.path, t.Name)
+		}
+		if t.Weight < 0 || t.Quota.MaxQueued < 0 || t.Quota.MaxRunning < 0 || t.Quota.EvalsPerSec < 0 {
+			return fmt.Errorf("tenancy: key file %s: tenant %q has negative weight or quota", a.path, t.Name)
+		}
+		byName[t.Name] = t
+		for _, k := range t.Keys {
+			if k == "" {
+				return fmt.Errorf("tenancy: key file %s: tenant %q has an empty key", a.path, t.Name)
+			}
+			if owner, dup := byKey[k]; dup {
+				return fmt.Errorf("tenancy: key file %s: key %q… belongs to both %q and %q",
+					a.path, k[:min(4, len(k))], owner.Name, t.Name)
+			}
+			byKey[k] = t
+		}
+	}
+	a.mu.Lock()
+	a.byKey, a.byName = byKey, byName
+	a.mu.Unlock()
+	return nil
+}
+
+// OpenMode reports whether every request maps to the default tenant.
+func (a *Authenticator) OpenMode() bool { return a.open }
+
+// Authenticate resolves an API key to its tenant. In open mode every
+// key — including the empty one — resolves to the default tenant.
+// Returned tenants are shared and must be treated as immutable.
+func (a *Authenticator) Authenticate(key string) (*Tenant, error) {
+	if a.open {
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		return a.byName[DefaultTenantName], nil
+	}
+	if key == "" {
+		return nil, ErrNoKey
+	}
+	a.mu.RLock()
+	t := a.byKey[key]
+	a.mu.RUnlock()
+	if t == nil {
+		return nil, ErrUnknownKey
+	}
+	return t, nil
+}
+
+// Tenant looks a tenant up by name (nil if unknown). Recovery uses it
+// to re-attach persisted jobs to their tenants' current quotas.
+func (a *Authenticator) Tenant(name string) *Tenant {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.byName[name]
+}
+
+// Limits returns the scheduling limits for a tenant by name. A tenant
+// that vanished from the key file (removed, then reloaded) keeps
+// draining at weight 1 with no running bound: already-accepted jobs
+// still finish, the key just stops authenticating new ones.
+func (a *Authenticator) Limits(name string) Limits {
+	a.mu.RLock()
+	t := a.byName[name]
+	a.mu.RUnlock()
+	if t == nil {
+		return Limits{Weight: 1}
+	}
+	w := t.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return Limits{Weight: w, MaxRunning: t.Quota.MaxRunning}
+}
+
+// bucket is a token bucket with a debt floor: a submission is allowed
+// whenever the balance is positive and then charged in full, so one
+// job larger than the burst capacity still gets through — the bucket
+// just goes negative and blocks the tenant until it refills. Long-run
+// throughput converges to the configured rate either way.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// burstSeconds sizes a bucket's capacity: rate × this.
+const burstSeconds = 60
+
+// AllowEvals charges n evaluations against the tenant's rate budget,
+// reporting whether the submission is admitted. Tenants with no
+// EvalsPerSec quota are always admitted and never charged.
+func (a *Authenticator) AllowEvals(name string, n float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.byName[name]
+	if t == nil || t.Quota.EvalsPerSec <= 0 {
+		return true
+	}
+	rate := t.Quota.EvalsPerSec
+	cap := rate * burstSeconds
+	b := a.buckets[name]
+	now := a.now()
+	if b == nil {
+		b = &bucket{tokens: cap, last: now}
+		a.buckets[name] = b
+	} else {
+		b.tokens += rate * now.Sub(b.last).Seconds()
+		if b.tokens > cap {
+			b.tokens = cap
+		}
+		b.last = now
+	}
+	if b.tokens <= 0 {
+		return false
+	}
+	b.tokens -= n
+	return true
+}

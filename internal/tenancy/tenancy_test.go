@@ -1,0 +1,381 @@
+package tenancy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeKeyFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const twoTenants = `{
+  "tenants": [
+    {"name": "acme", "keys": ["k-acme-1", "k-acme-2"], "weight": 3,
+     "quota": {"max_queued": 10, "max_running": 2, "evals_per_sec": 1000}},
+    {"name": "bob", "keys": ["k-bob"]}
+  ]
+}`
+
+func TestAuthenticateKeyFile(t *testing.T) {
+	a, err := NewAuthenticator(writeKeyFile(t, twoTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OpenMode() {
+		t.Fatal("key-file authenticator reports open mode")
+	}
+	for key, want := range map[string]string{"k-acme-1": "acme", "k-acme-2": "acme", "k-bob": "bob"} {
+		tn, err := a.Authenticate(key)
+		if err != nil || tn.Name != want {
+			t.Errorf("Authenticate(%s) = %v, %v; want %s", key, tn, err, want)
+		}
+	}
+	if _, err := a.Authenticate(""); err != ErrNoKey {
+		t.Errorf("empty key: %v, want ErrNoKey", err)
+	}
+	if _, err := a.Authenticate("nope"); err != ErrUnknownKey {
+		t.Errorf("unknown key: %v, want ErrUnknownKey", err)
+	}
+	if lim := a.Limits("acme"); lim.Weight != 3 || lim.MaxRunning != 2 {
+		t.Errorf("Limits(acme) = %+v", lim)
+	}
+	if lim := a.Limits("bob"); lim.Weight != 1 || lim.MaxRunning != 0 {
+		t.Errorf("Limits(bob) = %+v", lim)
+	}
+	if lim := a.Limits("ghost"); lim.Weight != 1 {
+		t.Errorf("Limits(ghost) = %+v", lim)
+	}
+}
+
+func TestOpenMode(t *testing.T) {
+	a := Open()
+	for _, key := range []string{"", "anything"} {
+		tn, err := a.Authenticate(key)
+		if err != nil || tn.Name != DefaultTenantName {
+			t.Fatalf("open mode Authenticate(%q) = %v, %v", key, tn, err)
+		}
+	}
+	if !a.AllowEvals(DefaultTenantName, 1e12) {
+		t.Error("open mode rate-limited the default tenant")
+	}
+	if err := a.Reload(); err != nil {
+		t.Errorf("open-mode reload: %v", err)
+	}
+}
+
+func TestKeyFileValidation(t *testing.T) {
+	bad := map[string]string{
+		"no name":        `{"tenants":[{"keys":["k"]}]}`,
+		"no keys":        `{"tenants":[{"name":"a"}]}`,
+		"empty key":      `{"tenants":[{"name":"a","keys":[""]}]}`,
+		"dup tenant":     `{"tenants":[{"name":"a","keys":["k1"]},{"name":"a","keys":["k2"]}]}`,
+		"dup key":        `{"tenants":[{"name":"a","keys":["k"]},{"name":"b","keys":["k"]}]}`,
+		"negative quota": `{"tenants":[{"name":"a","keys":["k"],"quota":{"max_queued":-1}}]}`,
+		"not json":       `tenants: [a]`,
+	}
+	for name, content := range bad {
+		if _, err := NewAuthenticator(writeKeyFile(t, content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReloadKeepsOldTableOnError: a broken edit must not lock tenants
+// out; the previous table survives a failed reload.
+func TestReloadKeepsOldTableOnError(t *testing.T) {
+	path := writeKeyFile(t, twoTenants)
+	a, err := NewAuthenticator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reload(); err == nil {
+		t.Fatal("broken reload succeeded")
+	}
+	if tn, err := a.Authenticate("k-bob"); err != nil || tn.Name != "bob" {
+		t.Errorf("old table lost after failed reload: %v, %v", tn, err)
+	}
+}
+
+func TestReloadSwapsKeys(t *testing.T) {
+	path := writeKeyFile(t, twoTenants)
+	a, err := NewAuthenticator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := `{"tenants":[{"name":"carol","keys":["k-carol"],"weight":2}]}`
+	if err := os.WriteFile(path, []byte(next), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Authenticate("k-bob"); err != ErrUnknownKey {
+		t.Error("removed key still authenticates")
+	}
+	if tn, err := a.Authenticate("k-carol"); err != nil || tn.Name != "carol" {
+		t.Errorf("new key: %v, %v", tn, err)
+	}
+}
+
+// TestReloadRace hammers Authenticate/Limits/AllowEvals concurrently
+// with Reload; run under -race this is the key-file reload race drill
+// of the tenancy chaos suite.
+func TestReloadRace(t *testing.T) {
+	path := writeKeyFile(t, twoTenants)
+	a, err := NewAuthenticator(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.Authenticate("k-acme-1")
+				a.Authenticate("nope")
+				a.Limits("acme")
+				a.AllowEvals("acme", 10)
+			}
+		}()
+	}
+	alt := `{"tenants":[{"name":"acme","keys":["k-acme-1"],"weight":1}]}`
+	for i := 0; i < 200; i++ {
+		content := twoTenants
+		if i%2 == 0 {
+			content = alt
+		}
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEvalBudget exercises the token bucket: a tenant with 1000
+// evals/sec and a 60s burst admits ~60k evals up front, goes into
+// debt on one oversized job, then recovers at the configured rate.
+func TestEvalBudget(t *testing.T) {
+	a, err := NewAuthenticator(writeKeyFile(t, twoTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	// Bucket starts full: 1000/s * 60s = 60k tokens.
+	if !a.AllowEvals("acme", 50_000) {
+		t.Fatal("burst submission rejected with a full bucket")
+	}
+	// 10k left: a 120k job is still admitted (debt model) ...
+	if !a.AllowEvals("acme", 120_000) {
+		t.Fatal("positive-balance submission rejected")
+	}
+	// ... but the bucket is now deeply negative: nothing else passes.
+	if a.AllowEvals("acme", 1) {
+		t.Fatal("overdrawn bucket admitted a submission")
+	}
+	// 110 seconds at 1000/s pays the debt off with 0 balance; one more
+	// second turns it positive.
+	now = now.Add(111 * time.Second)
+	if !a.AllowEvals("acme", 1000) {
+		t.Fatal("refilled bucket rejected a submission")
+	}
+	// No budget configured → never limited.
+	for i := 0; i < 100; i++ {
+		if !a.AllowEvals("bob", 1e9) {
+			t.Fatal("unbudgeted tenant rate-limited")
+		}
+	}
+}
+
+// --- scheduler ---
+
+func TestSchedulerSingleLaneIsFIFO(t *testing.T) {
+	s := NewScheduler[int](nil)
+	for i := 1; i <= 100; i++ {
+		s.Push("default", i)
+	}
+	for i := 1; i <= 100; i++ {
+		v, tn, ok := s.Pop()
+		if !ok || v != i || tn != "default" {
+			t.Fatalf("Pop %d = %d,%s,%v", i, v, tn, ok)
+		}
+		s.DoneRunning(tn)
+	}
+	if _, _, ok := s.Pop(); ok {
+		t.Fatal("Pop from empty scheduler succeeded")
+	}
+}
+
+// TestSchedulerFairShare is the fairness property test: two tenants
+// with skewed submission rates and 3:1 weights; the drain ratio over
+// any window where both are backlogged must track the weights within
+// tolerance, and per-lane FIFO order must hold.
+func TestSchedulerFairShare(t *testing.T) {
+	limits := map[string]Limits{
+		"heavy": {Weight: 3},
+		"light": {Weight: 1},
+	}
+	s := NewScheduler[string](func(tn string) Limits { return limits[tn] })
+
+	// Skewed submission: heavy floods 2000 jobs, light trickles 300.
+	for i := 0; i < 2000; i++ {
+		s.Push("heavy", fmt.Sprintf("h%04d", i))
+	}
+	for i := 0; i < 300; i++ {
+		s.Push("light", fmt.Sprintf("l%04d", i))
+	}
+
+	counts := map[string]int{}
+	lastPerLane := map[string]string{}
+	// Drain 400 jobs — both lanes stay backlogged throughout.
+	for i := 0; i < 400; i++ {
+		item, tn, ok := s.Pop()
+		if !ok {
+			t.Fatalf("Pop %d failed with %d queued", i, s.Len())
+		}
+		if prev := lastPerLane[tn]; prev != "" && item <= prev {
+			t.Fatalf("lane %s out of FIFO order: %s after %s", tn, item, prev)
+		}
+		lastPerLane[tn] = item
+		counts[tn]++
+		s.DoneRunning(tn)
+	}
+	ratio := float64(counts["heavy"]) / float64(counts["light"])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("drain ratio %.2f (heavy=%d light=%d), want ~3.0",
+			ratio, counts["heavy"], counts["light"])
+	}
+
+	// Once light runs dry, heavy gets everything (work conservation).
+	for s.Depth("light") > 0 {
+		_, tn, ok := s.Pop()
+		if !ok {
+			t.Fatal("Pop failed while lanes non-empty")
+		}
+		s.DoneRunning(tn)
+	}
+	for i := 0; i < 50; i++ {
+		_, tn, ok := s.Pop()
+		if !ok || tn != "heavy" {
+			t.Fatalf("idle-lane Pop = %s, %v; want heavy", tn, ok)
+		}
+		s.DoneRunning(tn)
+	}
+}
+
+// TestSchedulerNoStarvationUnderFlood: a weight-1 tenant behind a
+// weight-10 flood still gets served within one replenish cycle.
+func TestSchedulerNoStarvationUnderFlood(t *testing.T) {
+	s := NewScheduler[int](func(tn string) Limits {
+		if tn == "flood" {
+			return Limits{Weight: 10}
+		}
+		return Limits{Weight: 1}
+	})
+	for i := 0; i < 1000; i++ {
+		s.Push("flood", i)
+	}
+	s.Push("tiny", 42)
+	served := -1
+	for i := 0; i < 12; i++ {
+		v, tn, ok := s.Pop()
+		if !ok {
+			t.Fatal("Pop failed")
+		}
+		if tn == "tiny" {
+			served = i
+			if v != 42 {
+				t.Fatalf("tiny served wrong item %d", v)
+			}
+			break
+		}
+		s.DoneRunning(tn)
+	}
+	if served < 0 {
+		t.Fatal("tiny tenant starved past a full replenish cycle")
+	}
+}
+
+func TestSchedulerRunningCap(t *testing.T) {
+	s := NewScheduler[int](func(tn string) Limits { return Limits{Weight: 1, MaxRunning: 2} })
+	for i := 0; i < 5; i++ {
+		s.Push("a", i)
+	}
+	if _, _, ok := s.Pop(); !ok {
+		t.Fatal("Pop 1")
+	}
+	if _, _, ok := s.Pop(); !ok {
+		t.Fatal("Pop 2")
+	}
+	if _, _, ok := s.Pop(); ok {
+		t.Fatal("Pop past the running cap succeeded")
+	}
+	s.DoneRunning("a")
+	if v, _, ok := s.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop after release = %d, %v", v, ok)
+	}
+	if s.Running("a") != 2 || s.Depth("a") != 2 {
+		t.Errorf("running=%d depth=%d", s.Running("a"), s.Depth("a"))
+	}
+}
+
+func TestSchedulerRemove(t *testing.T) {
+	s := NewScheduler[int](nil)
+	s.Push("a", 1)
+	s.Push("a", 2)
+	s.Push("a", 3)
+	if !s.Remove("a", 2) {
+		t.Fatal("Remove failed")
+	}
+	if s.Remove("a", 2) {
+		t.Fatal("double Remove succeeded")
+	}
+	if s.Len() != 2 || s.Depth("a") != 2 {
+		t.Fatalf("Len=%d Depth=%d", s.Len(), s.Depth("a"))
+	}
+	v1, _, _ := s.Pop()
+	v2, _, _ := s.Pop()
+	if v1 != 1 || v2 != 3 {
+		t.Errorf("pops after remove = %d,%d; want 1,3", v1, v2)
+	}
+}
+
+func TestSchedulerPushFront(t *testing.T) {
+	s := NewScheduler[int](nil)
+	s.Push("a", 1)
+	s.Push("a", 2)
+	v, _, _ := s.Pop()
+	if v != 1 {
+		t.Fatal("first pop")
+	}
+	s.DoneRunning("a")
+	s.PushFront("a", 1)
+	if v, _, _ := s.Pop(); v != 1 {
+		t.Errorf("PushFront item not popped first (got %d)", v)
+	}
+}
