@@ -6,14 +6,16 @@ STATICCHECK_VERSION ?= 2023.1.7
 
 .PHONY: ci vet build test race chaos fleet-chaos tenancy-chaos lint bench-json bench-check telemetry-guard
 
-# bench-check and lint are advisory in ci (benchmark timings on shared
-# CI hardware are too noisy to gate merges on, and the lint tools need
-# network access to download on first run); run them locally before
-# perf-sensitive changes and regenerate the baseline with bench-json
-# when a speedup or an accepted regression lands. telemetry-guard gates:
-# its allocs/eval comparison is deterministic, unlike timings.
-ci: vet build test race fleet-chaos tenancy-chaos telemetry-guard
-	-$(MAKE) bench-check
+# bench-check is a required gate: the sparse eval plans bought a large
+# ns/eval margin over the committed baseline, so the 15% regression
+# budget no longer trips on CI-hardware noise — a failure means a real
+# slowdown (or a deck falling off the sparse factorization path, which
+# benchjson flags separately). Regenerate the baseline with bench-json
+# when a speedup or an accepted regression lands. lint stays advisory
+# (the tools need network access to download on first run).
+# telemetry-guard also gates: its allocs/eval comparison is
+# deterministic, unlike timings.
+ci: vet build test race fleet-chaos tenancy-chaos telemetry-guard bench-check
 	-$(MAKE) lint
 
 vet:
@@ -89,8 +91,12 @@ bench-check:
 # at low iteration counts) checked against the baseline with a timing
 # budget wide enough to absorb CI noise — it trips only on the
 # catastrophic case, e.g. sampling accidentally enabled by default.
+# The second step pins the batched K-candidate evaluator and the sparse
+# single-candidate workspace to zero allocations via their dedicated
+# alloc-count tests (testing.AllocsPerRun is exact and timing-free).
 telemetry-guard:
 	@tmp=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench Table2Eval -benchmem -benchtime 100x . > $$tmp && \
 	$(GO) run ./cmd/benchjson -filter Table2Eval -check BENCH_oblx.json -max-regress 2.0 < $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
+	$(GO) test -run 'TestBatchZeroAlloc|TestWorkspaceZeroAlloc' -count=1 ./internal/bench

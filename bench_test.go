@@ -59,6 +59,31 @@ func benchmarkCostEval(b *testing.B, c bench.Circuit) {
 			b.Fatal("degenerate cost")
 		}
 	}
+	b.StopTimer()
+	// Per-deck matrix shape: dimension of the largest jig system, total
+	// structural nonzeros and factor fill across jigs, and the fraction
+	// of jigs whose factorization ran the sparse replay (1 = all sparse,
+	// 0 = dense fallback everywhere). Tracked in BENCH_oblx.json so a
+	// deck silently dropping off the sparse path shows up in review.
+	var rows, nnz, fill, sparse float64
+	stats := comp.Workspace().JigStats()
+	for _, s := range stats {
+		if float64(s.Rows) > rows {
+			rows = float64(s.Rows)
+		}
+		nnz += float64(s.NNZ)
+		fill += float64(s.FillNNZ)
+		if s.Sparse {
+			sparse++
+		}
+	}
+	if len(stats) > 0 {
+		sparse /= float64(len(stats))
+	}
+	b.ReportMetric(rows, "mna_rows")
+	b.ReportMetric(nnz, "mna_nnz")
+	b.ReportMetric(fill, "fill_nnz")
+	b.ReportMetric(sparse, "sparse")
 }
 
 // BenchmarkTable2EvalSimpleOTA .. BiCMOS: per-circuit evaluation cost,

@@ -40,6 +40,13 @@ type Entry struct {
 	// -benchmem; they track the hot path's steady-state heap traffic.
 	BytesPerEval  *float64 `json:"bytes_per_eval,omitempty"`
 	AllocsPerEval *int64   `json:"allocs_per_eval,omitempty"`
+	// Metrics holds any custom b.ReportMetric values the benchmark
+	// emitted. The eval benchmarks report the deck's matrix shape:
+	// mna_rows (dimension of the largest jig system), mna_nnz
+	// (structural nonzeros across jigs), fill_nnz (factor nonzeros
+	// including fill-in), and sparse (fraction of jig factorizations on
+	// the sparse replay path; 1 = fully sparse, 0 = dense fallback).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the whole output file.
@@ -48,11 +55,16 @@ type Report struct {
 	Entries []Entry `json:"entries"`
 }
 
-// benchLine matches standard go-test benchmark result lines, with or
-// without the -benchmem columns:
+// benchLine matches standard go-test benchmark result lines. Custom
+// b.ReportMetric columns land between ns/op and the -benchmem pair
+// (go sorts them by unit name), so everything after ns/op is captured
+// and parsed as value/unit pairs:
 //
-//	BenchmarkTable2EvalSimpleOTA-8   2500   452000 ns/op   128 B/op   3 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+//	BenchmarkTable2EvalSimpleOTA-8   2500   452000 ns/op   74 mna_nnz   1.000 sparse   128 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op((?:\s+\S+ \S+)*)\s*$`)
+
+// metricPair matches one "value unit" column of the post-ns/op tail.
+var metricPair = regexp.MustCompile(`(\S+) (\S+)`)
 
 func parse(r io.Reader, filter string) ([]Entry, error) {
 	var entries []Entry
@@ -78,17 +90,23 @@ func parse(r io.Reader, filter string) ([]Entry, error) {
 		if ns > 0 {
 			e.EvalsPerSec = 1e9 / ns
 		}
-		if m[4] != "" {
-			bytes, err := strconv.ParseFloat(m[4], 64)
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+				return nil, fmt.Errorf("benchjson: bad metric value in %q: %w", sc.Text(), err)
 			}
-			allocs, err := strconv.ParseInt(m[5], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+			switch unit := pair[2]; unit {
+			case "B/op":
+				e.BytesPerEval = &v
+			case "allocs/op":
+				allocs := int64(v)
+				e.AllocsPerEval = &allocs
+			default:
+				if e.Metrics == nil {
+					e.Metrics = make(map[string]float64)
+				}
+				e.Metrics[unit] = v
 			}
-			e.BytesPerEval = &bytes
-			e.AllocsPerEval = &allocs
 		}
 		entries = append(entries, e)
 	}
@@ -116,6 +134,16 @@ func check(baseline Report, entries []Entry, maxRegress float64) []string {
 			problems = append(problems, fmt.Sprintf(
 				"%s: %d allocs/eval exceeds baseline %d",
 				base.Name, *got.AllocsPerEval, *base.AllocsPerEval))
+		}
+		// The sparse fraction gates downward moves: a deck falling off the
+		// sparse factorization path is a perf cliff even when the wall
+		// clock hasn't crossed the ns/eval budget yet.
+		if baseSparse, ok := base.Metrics["sparse"]; ok {
+			if gotSparse, ok := got.Metrics["sparse"]; ok && gotSparse < baseSparse {
+				problems = append(problems, fmt.Sprintf(
+					"%s: sparse-path fraction %.2f below baseline %.2f",
+					base.Name, gotSparse, baseSparse))
+			}
 		}
 		if base.NsPerEval <= 0 {
 			continue

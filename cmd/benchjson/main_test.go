@@ -15,6 +15,52 @@ PASS
 ok  	astrx	12.345s
 `
 
+const metricSample = `BenchmarkTable2EvalBiCMOS-8 	    2496	     85356 ns/op	       243.0 fill_nnz	       243.0 mna_nnz	        28.00 mna_rows	         1.000 sparse	       0 B/op	       0 allocs/op
+`
+
+func TestParseMetrics(t *testing.T) {
+	entries, err := parse(strings.NewReader(metricSample), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.NsPerEval != 85356 {
+		t.Errorf("ns/eval = %g, want 85356", e.NsPerEval)
+	}
+	if e.BytesPerEval == nil || *e.BytesPerEval != 0 || e.AllocsPerEval == nil || *e.AllocsPerEval != 0 {
+		t.Errorf("memory columns lost around custom metrics: %+v", e)
+	}
+	want := map[string]float64{"fill_nnz": 243, "mna_nnz": 243, "mna_rows": 28, "sparse": 1}
+	for k, v := range want {
+		if e.Metrics[k] != v {
+			t.Errorf("metric %s = %g, want %g", k, e.Metrics[k], v)
+		}
+	}
+	if len(e.Metrics) != len(want) {
+		t.Errorf("extra metrics parsed: %v", e.Metrics)
+	}
+}
+
+func TestCheckSparseFraction(t *testing.T) {
+	baseline := Report{Entries: []Entry{
+		{Name: "Table2EvalOTA", NsPerEval: 100000, Metrics: map[string]float64{"sparse": 1}},
+	}}
+	entries := []Entry{
+		{Name: "Table2EvalOTA", NsPerEval: 100000, Metrics: map[string]float64{"sparse": 0.5}},
+	}
+	problems := check(baseline, entries, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "sparse-path fraction") {
+		t.Fatalf("sparse fraction drop not flagged: %v", problems)
+	}
+	entries[0].Metrics["sparse"] = 1
+	if got := check(baseline, entries, 0.15); len(got) != 0 {
+		t.Errorf("matching sparse fraction flagged: %v", got)
+	}
+}
+
 func TestParse(t *testing.T) {
 	entries, err := parse(strings.NewReader(sample), "")
 	if err != nil {

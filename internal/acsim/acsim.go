@@ -30,6 +30,11 @@ type Sweep struct {
 type Analyzer struct {
 	sys *mna.System
 	a   *linalg.CMatrix // scratch (G + jωC)
+	// lu is reused across frequency points: the (G + jωC) sparsity
+	// pattern is frequency-independent away from exact cancellations, so
+	// after the first point every factorization is a sparse replay over
+	// the cached symbolic analysis instead of a fresh dense allocation.
+	lu linalg.AutoCLU
 }
 
 // NewAnalyzer prepares an analyzer for the given system.
@@ -50,15 +55,14 @@ func (an *Analyzer) SolveAt(src string, w float64) ([]complex128, error) {
 			an.a.Set(i, j, complex(an.sys.G.At(i, j), w*an.sys.C.At(i, j)))
 		}
 	}
-	f, err := linalg.FactorCLU(an.a)
-	if err != nil {
+	if err := an.lu.Factor(an.a); err != nil {
 		return nil, fmt.Errorf("acsim: singular system at ω=%g: %w", w, err)
 	}
 	cb := make([]complex128, n)
 	for i := range b {
 		cb[i] = complex(b[i], 0)
 	}
-	f.SolveInPlace(cb)
+	an.lu.SolveInPlace(cb)
 	return cb, nil
 }
 

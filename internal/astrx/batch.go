@@ -1,0 +1,167 @@
+package astrx
+
+import (
+	"fmt"
+
+	"astrx/internal/awe"
+)
+
+// BatchWorkspace evaluates K candidate design vectors against one
+// compiled problem at once. Each candidate owns a full EvalWorkspace
+// lane, but the jig factorizations and AWE moment recursions of lanes
+// whose matrices share the deck's compile-time sparsity skeleton run as
+// one SoA batch (awe.BatchEngine): one symbolic structure, K numeric
+// replays, one batched triangular solve per moment. Everything outside
+// the linear algebra — bias, stamping, Padé fits, spec expressions —
+// replays per lane in the scalar order.
+//
+// Results are bit-identical to evaluating the candidates sequentially
+// through EvalWorkspace.CostDetail on fresh workspaces: the adaptive
+// cost-weight EMA updates are applied in lane order after all lanes
+// have run, which is exactly the sequence of side effects K sequential
+// evaluations produce. After warm-up a batch evaluation performs zero
+// heap allocations, like the scalar hot path.
+type BatchWorkspace struct {
+	c     *Compiled
+	lanes []*EvalWorkspace
+	bes   []*awe.BatchEngine
+	live  []bool
+	mus   [][]float64
+}
+
+// NewBatchWorkspace allocates a K-lane batch evaluator for this
+// compiled problem. K must be at least 1.
+func (c *Compiled) NewBatchWorkspace(k int) *BatchWorkspace {
+	if k < 1 {
+		panic(fmt.Sprintf("astrx: NewBatchWorkspace: k = %d", k))
+	}
+	p := c.plan
+	bw := &BatchWorkspace{
+		c:     c,
+		lanes: make([]*EvalWorkspace, k),
+		bes:   make([]*awe.BatchEngine, len(p.jigs)),
+		live:  make([]bool, k),
+		mus:   make([][]float64, k),
+	}
+	for i := range bw.lanes {
+		bw.lanes[i] = c.NewWorkspace()
+	}
+	for j := range p.jigs {
+		engs := make([]*awe.Engine, k)
+		for i := range bw.lanes {
+			engs[i] = &bw.lanes[i].jigs[j].eng
+		}
+		bw.bes[j] = awe.NewBatchEngine(p.jigs[j].sym, engs)
+	}
+	return bw
+}
+
+// K returns the number of candidate lanes.
+func (bw *BatchWorkspace) K() int { return len(bw.lanes) }
+
+// Lane exposes lane i's workspace for post-evaluation inspection
+// (State, Err, UnstableCount). Its contents are valid until the next
+// CostsInto call.
+func (bw *BatchWorkspace) Lane(i int) *EvalWorkspace { return bw.lanes[i] }
+
+// Batched reports whether lane's factorization for jig j ran in the SoA
+// batch during the last CostsInto (false means the lane fell back to
+// its scalar engine: pattern mismatch, tripped pivot guard, or a dead
+// lane). Exposed for telemetry and tests.
+func (bw *BatchWorkspace) Batched(j, lane int) bool { return bw.bes[j].InBatch(lane) }
+
+// Jigs returns the number of small-signal jigs in the compiled plan.
+func (bw *BatchWorkspace) Jigs() int { return len(bw.bes) }
+
+// CostsInto evaluates the candidates xs (len(xs) ≤ K) and writes each
+// total cost into dst[:len(xs)]. Failed candidates cost Opt.FailCost,
+// as in the scalar path; per-lane detail is available via Lane(i).Err.
+func (bw *BatchWorkspace) CostsInto(dst []float64, xs [][]float64) {
+	bw.Run(xs)
+	// Cost in lane order so the adaptive-weight EMA sees the identical
+	// update sequence as len(xs) sequential evaluations.
+	for i := range xs {
+		dst[i] = bw.lanes[i].costFromRun().Total
+	}
+}
+
+// Run evaluates the candidates xs (len(xs) ≤ K) without computing costs
+// or touching the compiled problem's adaptive-weight statistics — the
+// batch analogue of Compiled.Evaluate. Per-lane results are read via
+// Lane(i).State and Lane(i).Err.
+func (bw *BatchWorkspace) Run(xs [][]float64) {
+	k := len(xs)
+	if k > len(bw.lanes) {
+		panic(fmt.Sprintf("astrx: batch: %d candidates > %d lanes", k, len(bw.lanes)))
+	}
+	// live stays full-length: lanes beyond len(xs) are dead this call.
+	live := bw.live
+	for i := range live {
+		live[i] = false
+	}
+
+	// Bias prefix per lane: node voltages, device operating points, KCL.
+	for i := 0; i < k; i++ {
+		ws := bw.lanes[i]
+		ws.run(xs[i], false)
+		live[i] = ws.err == nil
+	}
+
+	// Jigs: stamp per lane, factor as a batch, advance every transfer
+	// function's moment recursion in lockstep, fit per lane. A lane that
+	// fails is dead for all remaining work, exactly like the scalar
+	// evaluator's early return.
+	p := bw.c.plan
+	for j := range p.jigs {
+		jp := p.jigs[j]
+		be := bw.bes[j]
+		for i := 0; i < k; i++ {
+			if !live[i] {
+				continue
+			}
+			ws := bw.lanes[i]
+			if err := ws.stampJig(jp, &ws.jigs[j]); err != nil {
+				ws.err = err
+				live[i] = false
+			}
+		}
+		be.RefactorAll(live)
+		for i, err := range be.Errs()[:k] {
+			if live[i] && err != nil {
+				bw.lanes[i].err = fmt.Errorf("astrx: jig %s: %w", jp.name, err)
+				live[i] = false
+			}
+		}
+		for t := range jp.tfs {
+			tp := &jp.tfs[t]
+			if tp.err != nil {
+				for i := 0; i < k; i++ {
+					if live[i] {
+						bw.lanes[i].err = fmt.Errorf("astrx: jig %s tf %s: %w", jp.name, tp.name, tp.err)
+						live[i] = false
+					}
+				}
+				break
+			}
+			for i := range bw.mus {
+				bw.mus[i] = nil
+				if live[i] {
+					bw.mus[i] = bw.lanes[i].jigs[j].mu[:2*tp.q]
+				}
+			}
+			be.MomentsAll(live, bw.mus, tp.b, tp.ip, tp.in)
+			for i := 0; i < k; i++ {
+				if live[i] {
+					bw.lanes[i].fitTF(tp, bw.mus[i])
+				}
+			}
+		}
+	}
+
+	// Specs per lane.
+	for i := 0; i < k; i++ {
+		if live[i] {
+			bw.lanes[i].evalSpecs()
+		}
+	}
+}

@@ -36,7 +36,7 @@ func TestWorkspaceStageClock(t *testing.T) {
 	for _, row := range bd {
 		got[row.Stage] = row.SampledEvals
 	}
-	for _, stage := range []string{"bias", "stamp", "lu", "moments", "fit", "specs"} {
+	for _, stage := range []string{"bias", "stamp", "factor", "solve", "moments", "fit", "specs"} {
 		if got[stage] != evals {
 			t.Errorf("stage %s sampled %d evals, want %d (breakdown %+v)", stage, got[stage], evals, bd)
 		}

@@ -100,6 +100,9 @@ func (c *Compiled) NewWorkspace() *EvalWorkspace {
 		jw.G = *linalg.NewMatrix(jp.size, jp.size)
 		jw.C = *linalg.NewMatrix(jp.size, jp.size)
 		jw.eng.G, jw.eng.C = &jw.G, &jw.C
+		if jp.sym != nil {
+			jw.eng.Prime(jp.sym)
+		}
 		maxMu := 0
 		for _, tp := range jp.tfs {
 			if 2*tp.q > maxMu {
@@ -124,11 +127,29 @@ func (c *Compiled) Workspace() *EvalWorkspace {
 // SetClock attaches a sampled per-stage timer to this workspace's cost
 // evaluations (nil detaches). The clock must not be shared with another
 // workspace; obtain one per workspace from a shared telemetry.EvalTimer.
-func (ws *EvalWorkspace) SetClock(c *telemetry.Clock) { ws.clock = c }
+func (ws *EvalWorkspace) SetClock(c *telemetry.Clock) {
+	ws.clock = c
+	for i := range ws.jigs {
+		ws.jigs[i].eng.Clock = c
+	}
+}
 
 // Err returns the first fatal problem of the last evaluation (nil if it
 // completed).
 func (ws *EvalWorkspace) Err() error { return ws.err }
+
+// JigStats reports the factorization shape of each small-signal jig
+// from the most recent evaluation: matrix dimension, structural
+// nonzeros, factor fill-in, and whether the sparse replay ran (false →
+// dense fallback). The benchmark harness exports these as per-deck
+// matrix metrics.
+func (ws *EvalWorkspace) JigStats() []linalg.FactorStats {
+	out := make([]linalg.FactorStats, len(ws.jigs))
+	for i := range ws.jigs {
+		out[i] = ws.jigs[i].eng.FactorStats()
+	}
+	return out
+}
 
 // UnstableCount returns how many evaluations this workspace has rejected
 // for right-half-plane poles in the reduced model.
@@ -270,7 +291,14 @@ func (ws *EvalWorkspace) run(x []float64, full bool) {
 		}
 	}
 
-	for i, s := range c.Deck.Specs {
+	ws.evalSpecs()
+}
+
+// evalSpecs evaluates the compiled spec expressions against the last
+// jig results (the tail of a full run, split out so the batched
+// evaluator can replay it per lane).
+func (ws *EvalWorkspace) evalSpecs() {
+	for i, s := range ws.c.Deck.Specs {
 		ws.resetArgs()
 		v, err := s.Expr.Eval(&ws.specEnv)
 		if err != nil {
@@ -364,10 +392,47 @@ func (ws *EvalWorkspace) evalKCL() error {
 }
 
 // evalJig re-stamps one jig's (G, C) pair, refactors, and fits every
-// requested transfer function. The stamp order — gmin ties, linear
-// elements, device models — matches the node and branch ordering the
-// jig plan was compiled against.
+// requested transfer function.
 func (ws *EvalWorkspace) evalJig(jp *jigPlan, jw *jigWS) error {
+	if err := ws.stampJig(jp, jw); err != nil {
+		return err
+	}
+	if err := jw.eng.Refactor(); err != nil {
+		return fmt.Errorf("astrx: jig %s: %w", jp.name, err)
+	}
+	ws.clock.Mark(telemetry.StageFactor)
+	for i := range jp.tfs {
+		tp := &jp.tfs[i]
+		if tp.err != nil {
+			return fmt.Errorf("astrx: jig %s tf %s: %w", jp.name, tp.name, tp.err)
+		}
+		mu := jw.mu[:2*tp.q]
+		jw.eng.MomentsInto(mu, tp.b, tp.ip, tp.in)
+		ws.clock.Mark(telemetry.StageMoments)
+		ws.fitTF(tp, mu)
+	}
+	return nil
+}
+
+// fitTF reduces one transfer function's moments to a pole/zero model.
+// An unstable winner means no stable order reproduced the moments
+// (awe.ErrUnstable). The model is still measured — often the RHP pole
+// is a Padé artifact at the edge of moment resolution, not a physically
+// unstable circuit — but the event is counted so runs dominated by
+// unstable fits are visible in FailureStats.Unstable and the daemon's
+// oblxd_eval_unstable_total metric.
+func (ws *EvalWorkspace) fitTF(tp *tfPlan, mu []float64) {
+	ws.fit.FitMomentsInto(&ws.tfs[tp.tfIdx], mu, tp.q)
+	if tf := &ws.tfs[tp.tfIdx]; tf.Order > 0 && !tf.Stable() {
+		ws.unstable++
+	}
+	ws.clock.Mark(telemetry.StageFit)
+}
+
+// stampJig re-stamps one jig's (G, C) pair. The stamp order — gmin
+// ties, linear elements, device models — matches the node and branch
+// ordering the jig plan was compiled against.
+func (ws *EvalWorkspace) stampJig(jp *jigPlan, jw *jigWS) error {
 	jw.G.Zero()
 	jw.C.Zero()
 	st := mna.Stamper{G: &jw.G, C: &jw.C}
@@ -501,30 +566,6 @@ func (ws *EvalWorkspace) evalJig(jp *jigPlan, jw *jigWS) error {
 		}
 	}
 	ws.clock.Mark(telemetry.StageStamp)
-	if err := jw.eng.Refactor(); err != nil {
-		return fmt.Errorf("astrx: jig %s: %w", jp.name, err)
-	}
-	ws.clock.Mark(telemetry.StageLU)
-	for i := range jp.tfs {
-		tp := &jp.tfs[i]
-		if tp.err != nil {
-			return fmt.Errorf("astrx: jig %s tf %s: %w", jp.name, tp.name, tp.err)
-		}
-		mu := jw.mu[:2*tp.q]
-		jw.eng.MomentsInto(mu, tp.b, tp.ip, tp.in)
-		ws.clock.Mark(telemetry.StageMoments)
-		ws.fit.FitMomentsInto(&ws.tfs[tp.tfIdx], mu, tp.q)
-		// An unstable winner means no stable order reproduced the moments
-		// (awe.ErrUnstable). The model is still measured — often the RHP
-		// pole is a Padé artifact at the edge of moment resolution, not a
-		// physically unstable circuit — but the event is counted so runs
-		// dominated by unstable fits are visible in FailureStats.Unstable
-		// and the daemon's oblxd_eval_unstable_total metric.
-		if tf := &ws.tfs[tp.tfIdx]; tf.Order > 0 && !tf.Stable() {
-			ws.unstable++
-		}
-		ws.clock.Mark(telemetry.StageFit)
-	}
 	return nil
 }
 

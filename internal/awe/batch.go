@@ -1,0 +1,237 @@
+package awe
+
+import (
+	"fmt"
+
+	"astrx/internal/linalg"
+)
+
+// BatchEngine runs the factorization and moment recursion of K lane
+// engines at once against one shared symbolic skeleton. The skeleton is
+// chosen adaptively: every RefactorAll scans each live lane's
+// re-stamped G and batches the lanes whose nonzero pattern matches the
+// first live lane's, fetching that pattern's symbolic analysis from a
+// cache seeded with the compile-time structural prediction. Matched
+// lanes factor together in one SoA numeric replay (linalg.SparseBatchLU)
+// and their moment recursions advance in lockstep, one batched
+// triangular solve per moment instead of K scalar ones. Lanes whose
+// pattern differs from the reference lane's — a cutoff device dropping
+// a stamp, a swapped MOS — or whose batched factorization trips a pivot
+// guard fall back to their own scalar engine. Either way each lane's
+// arithmetic is the exact scalar operation sequence (the symbolic is a
+// pure function of the scanned pattern, identical to what the lane's
+// own AutoLU would compute), so batched results are bit-identical to
+// evaluating the lanes one at a time.
+type BatchEngine struct {
+	lanes []*Engine
+
+	cache linalg.SymCache
+	sym   *linalg.Symbolic                        // current batch skeleton, nil → all scalar
+	blu   *linalg.SparseBatchLU                   // batch factorizer for sym
+	blus  map[*linalg.Symbolic]*linalg.SparseBatchLU // one per skeleton seen, so pattern drift doesn't churn allocations
+
+	mats    []*linalg.Matrix
+	inBatch []bool
+	errs    []error
+	scans   []linalg.Pattern // per-lane runtime scan, storage reused
+
+	cur, nxt []float64 // SoA moment scratch, lane k of row i at [i*K+k]
+}
+
+// NewBatchEngine builds a batch engine over the lane engines. sym is
+// the compile-time structural prediction and may be nil; it seeds the
+// symbolic cache so a first batch whose runtime pattern matches the
+// prediction skips the symbolic analysis entirely. The engine adapts to
+// whatever pattern the lanes actually stamp either way.
+func NewBatchEngine(sym *linalg.Symbolic, lanes []*Engine) *BatchEngine {
+	k := len(lanes)
+	be := &BatchEngine{
+		lanes:   lanes,
+		blus:    make(map[*linalg.Symbolic]*linalg.SparseBatchLU),
+		mats:    make([]*linalg.Matrix, k),
+		inBatch: make([]bool, k),
+		errs:    make([]error, k),
+		scans:   make([]linalg.Pattern, k),
+	}
+	if sym != nil {
+		be.cache.Prime(sym)
+		be.setSkeleton(sym)
+	}
+	return be
+}
+
+// setSkeleton switches the batch factorizer to sym, reusing a
+// previously built SparseBatchLU when the skeleton was seen before.
+func (be *BatchEngine) setSkeleton(sym *linalg.Symbolic) {
+	be.sym = sym
+	if blu, ok := be.blus[sym]; ok {
+		be.blu = blu
+	} else {
+		be.blu = linalg.NewSparseBatchLU(sym, len(be.lanes))
+		be.blus[sym] = be.blu
+	}
+	nk := sym.Pattern().N * len(be.lanes)
+	if cap(be.cur) < nk {
+		be.cur = make([]float64, nk)
+		be.nxt = make([]float64, nk)
+	}
+	be.cur = be.cur[:nk]
+	be.nxt = be.nxt[:nk]
+}
+
+// Errs returns the per-lane error slice of the last RefactorAll. It is
+// overwritten by the next call.
+func (be *BatchEngine) Errs() []error { return be.errs }
+
+// InBatch reports whether lane i was factored in the SoA batch (false
+// for scalar-fallback and skipped lanes).
+func (be *BatchEngine) InBatch(i int) bool { return be.inBatch[i] }
+
+// RefactorAll refactors every live lane's G matrix after a re-stamp.
+// live may be nil (all lanes live); dead lanes are skipped entirely.
+// Per-lane failures land in Errs — a batched lane cannot fail, because
+// a tripped guard demotes it to the scalar path, where the dense
+// fallback decides.
+func (be *BatchEngine) RefactorAll(live []bool) {
+	// Scan every live lane and pick the first live lane's pattern as the
+	// batch reference. Candidate populations are homogeneous in the
+	// common case (one deck, K perturbations), so the reference pattern
+	// is almost always every lane's pattern.
+	ref := -1
+	for i, e := range be.lanes {
+		be.errs[i] = nil
+		be.mats[i] = nil
+		be.inBatch[i] = false
+		if live != nil && !live[i] {
+			continue
+		}
+		be.scans[i].Scan(e.G)
+		if ref < 0 {
+			ref = i
+		}
+	}
+	if ref >= 0 {
+		refPat := &be.scans[ref]
+		if be.sym == nil || !refPat.Equal(be.sym.Pattern()) {
+			if sym, ok := be.cache.Lookup(refPat); ok {
+				be.setSkeleton(sym)
+			} else {
+				// Structurally singular reference pattern: every lane takes
+				// its scalar path (where the dense fallback decides).
+				be.sym, be.blu = nil, nil
+			}
+		}
+	}
+	batchAny := false
+	if be.blu != nil {
+		for i := range be.lanes {
+			if live != nil && !live[i] {
+				continue
+			}
+			if be.scans[i].Equal(be.sym.Pattern()) {
+				be.mats[i] = be.lanes[i].G
+				batchAny = true
+			}
+		}
+	}
+	if batchAny {
+		be.blu.FactorAll(be.mats)
+	}
+	for i, e := range be.lanes {
+		if live != nil && !live[i] {
+			continue
+		}
+		if be.mats[i] != nil && be.blu.Lane(i) {
+			be.inBatch[i] = true
+			e.refreshAux()
+			continue
+		}
+		// Scalar path: pattern mismatch, guard trip, or singular
+		// skeleton. The lane's own AutoLU re-scans and takes its sparse
+		// or dense route, exactly as an unbatched evaluation would.
+		be.errs[i] = e.Refactor()
+	}
+}
+
+// MomentsAll fills mus[i] with lane i's output moments for the shared
+// excitation vector b and output unknowns ip/in (see Engine.MomentsInto).
+// Batched lanes advance in lockstep through SoA solves; scalar lanes
+// run their own engine. Dead lanes (live[i] false, or nil mus[i]) are
+// skipped. All batched mus must have equal length.
+func (be *BatchEngine) MomentsAll(live []bool, mus [][]float64, b []float64, ip, in int) {
+	k := len(be.lanes)
+	nm := 0
+	for i, e := range be.lanes {
+		if (live != nil && !live[i]) || mus[i] == nil {
+			continue
+		}
+		if !be.inBatch[i] {
+			e.MomentsInto(mus[i], b, ip, in)
+			continue
+		}
+		if len(mus[i]) > nm {
+			nm = len(mus[i])
+		}
+	}
+	if nm == 0 {
+		return
+	}
+	n := len(b)
+	cur, nxt := be.cur[:n*k], be.nxt[:n*k]
+	for i := 0; i < n; i++ {
+		base := i * k
+		for lane := 0; lane < k; lane++ {
+			cur[base+lane] = b[i]
+		}
+	}
+	be.blu.SolveAll(cur) // m_0 in every batched lane
+	for m := 0; m < nm; m++ {
+		for i := range be.lanes {
+			if !be.inBatch[i] {
+				continue
+			}
+			mu := cur[ip*k+i]
+			if in >= 0 {
+				mu -= cur[in*k+i]
+			}
+			mus[i][m] = mu
+		}
+		if m == nm-1 {
+			break
+		}
+		// m_{j+1} = -G⁻¹ C m_j per lane: zero, apply each lane's C
+		// nonzeros in its scalar scan order, negate, batched solve.
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for i, e := range be.lanes {
+			if !be.inBatch[i] {
+				continue
+			}
+			for _, t := range e.cnz {
+				nxt[t.i*k+i] += t.v * cur[t.j*k+i]
+			}
+		}
+		for i := range nxt {
+			nxt[i] = -nxt[i]
+		}
+		be.blu.SolveAll(nxt)
+		cur, nxt = nxt, cur
+	}
+	be.cur, be.nxt = cur, nxt
+}
+
+// Size validates that every lane matrix matches the skeleton dimension;
+// it exists for construction-time sanity checks in callers.
+func (be *BatchEngine) Size() (int, error) {
+	if be.sym == nil {
+		return 0, nil
+	}
+	n := be.sym.Pattern().N
+	for i, e := range be.lanes {
+		if e.G != nil && e.G.Rows != n {
+			return 0, fmt.Errorf("awe: batch lane %d has %d rows, skeleton has %d", i, e.G.Rows, n)
+		}
+	}
+	return n, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"astrx/internal/linalg"
+	"astrx/internal/telemetry"
 )
 
 // Engine runs the AWE moment recursion against an externally assembled
@@ -15,7 +16,12 @@ import (
 type Engine struct {
 	G, C *linalg.Matrix
 
-	lu       linalg.LU
+	// Clock, when non-nil, splits each MomentsInto call into solve time
+	// (triangular substitutions) and moment time (RHS assembly) for the
+	// sampled per-stage timers. A nil clock costs a single branch.
+	Clock *telemetry.Clock
+
+	lu       linalg.AutoLU
 	cur, nxt []float64 // moment recursion scratch
 	cnz      []cEntry  // nonzero entries of C, row-major
 }
@@ -29,6 +35,20 @@ type cEntry struct {
 	v    float64
 }
 
+// Prime seeds the engine's factorization with a precomputed symbolic
+// analysis of G's sparsity pattern, so the first Factor of a matching
+// matrix skips straight to the sparse numeric replay. The eval-plan
+// compiler calls this once per jig at compile time.
+func (e *Engine) Prime(sym *linalg.Symbolic) { e.lu.Prime(sym) }
+
+// FactorStats reports the shape of the most recent factorization
+// (rows, pattern nonzeros, fill-in, and whether the sparse path ran).
+func (e *Engine) FactorStats() linalg.FactorStats { return e.lu.Stats() }
+
+// FactorCounts reports how many factorizations took the sparse path
+// versus fell back to dense since the engine was created.
+func (e *Engine) FactorCounts() (sparse, dense uint64) { return e.lu.Counts() }
+
 // Refactor recomputes the LU factorization of G, reusing the engine's
 // factor storage. It must be called after every re-stamp of G and
 // before MomentsInto.
@@ -36,6 +56,14 @@ func (e *Engine) Refactor() error {
 	if err := e.lu.Factor(e.G); err != nil {
 		return fmt.Errorf("%w: %v", ErrNoDCPath, err)
 	}
+	e.refreshAux()
+	return nil
+}
+
+// refreshAux re-sizes the recursion scratch and rescans C's sparsity
+// after a re-stamp (the non-factorization half of Refactor; the batch
+// engine calls it for lanes whose factorization ran in the SoA batch).
+func (e *Engine) refreshAux() {
 	n := e.G.Rows
 	if cap(e.cur) < n {
 		e.cur = make([]float64, n)
@@ -55,7 +83,6 @@ func (e *Engine) Refactor() error {
 			}
 		}
 	}
-	return nil
 }
 
 // MomentsInto fills mu with the first len(mu) output moments for the
@@ -65,7 +92,9 @@ func (e *Engine) Refactor() error {
 func (e *Engine) MomentsInto(mu, b []float64, ip, in int) {
 	n := len(mu)
 	copy(e.cur, b)
+	e.Clock.Mark(telemetry.StageMoments)
 	e.lu.SolveInPlace(e.cur) // m_0
+	e.Clock.Mark(telemetry.StageSolve)
 	for k := 0; k < n; k++ {
 		mu[k] = e.cur[ip]
 		if in >= 0 {
@@ -87,7 +116,9 @@ func (e *Engine) MomentsInto(mu, b []float64, ip, in int) {
 		for i := range e.nxt {
 			e.nxt[i] = -e.nxt[i]
 		}
+		e.Clock.Mark(telemetry.StageMoments)
 		e.lu.SolveInPlace(e.nxt)
+		e.Clock.Mark(telemetry.StageSolve)
 		e.cur, e.nxt = e.nxt, e.cur
 	}
 }

@@ -61,7 +61,12 @@ type Options struct {
 type Workspace struct {
 	v, f, dv, trial, ftrial []float64
 	j                       linalg.Matrix
-	lu                      linalg.LU
+	// lu routes through the sparse path when the Jacobian's scanned
+	// pattern has a cached symbolic analysis — after the first move on a
+	// reused Workspace, every subsequent factor is a sparse replay — and
+	// falls back to dense partial pivoting when a pivot guard trips, so
+	// singular-Jacobian verdicts are identical to the dense-only solver.
+	lu linalg.AutoLU
 }
 
 // size readies every buffer for an n-unknown solve.

@@ -87,7 +87,7 @@ func TestProgressFlightFields(t *testing.T) {
 			t.Errorf("stage %s: bad breakdown row %+v", row.Stage, row)
 		}
 	}
-	for _, want := range []string{"bias", "stamp", "lu", "moments", "fit", "specs"} {
+	for _, want := range []string{"bias", "stamp", "factor", "solve", "moments", "fit", "specs"} {
 		if !stages[want] {
 			t.Errorf("stage %s missing from breakdown %+v", want, bd)
 		}

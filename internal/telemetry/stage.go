@@ -24,9 +24,14 @@ const (
 	StageBias Stage = iota
 	// StageStamp covers per-jig G/C matrix stamping.
 	StageStamp
-	// StageLU covers the sparse LU refactorization.
-	StageLU
-	// StageMoments covers the AWE moment recursion per transfer function.
+	// StageFactor covers the numeric LU refactorization (sparse replay
+	// or dense fallback).
+	StageFactor
+	// StageSolve covers triangular solves against the factorization:
+	// the DC solve plus one back/forward substitution per AWE moment.
+	StageSolve
+	// StageMoments covers the AWE moment recursion per transfer function
+	// (right-hand-side assembly between solves).
 	StageMoments
 	// StageFit covers the Padé fit, root finding, and stability check.
 	StageFit
@@ -37,7 +42,7 @@ const (
 	NumStages = int(StageSpecs) + 1
 )
 
-var stageNames = [NumStages]string{"bias", "stamp", "lu", "moments", "fit", "specs"}
+var stageNames = [NumStages]string{"bias", "stamp", "factor", "solve", "moments", "fit", "specs"}
 
 func (s Stage) String() string {
 	if int(s) < NumStages {

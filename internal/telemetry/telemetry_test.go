@@ -14,7 +14,7 @@ import (
 )
 
 func TestStageNames(t *testing.T) {
-	want := []string{"bias", "stamp", "lu", "moments", "fit", "specs"}
+	want := []string{"bias", "stamp", "factor", "solve", "moments", "fit", "specs"}
 	for i, w := range want {
 		if got := Stage(i).String(); got != w {
 			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
@@ -66,7 +66,7 @@ func TestEvalTimerDisabledAndNil(t *testing.T) {
 	// All clock methods must be safe on a nil receiver.
 	var c *Clock
 	c.Begin()
-	c.Mark(StageLU)
+	c.Mark(StageFactor)
 	c.End()
 }
 
@@ -120,7 +120,7 @@ func TestEvalTimerConcurrentClocks(t *testing.T) {
 			c := timer.NewClock()
 			for i := 0; i < evals; i++ {
 				c.Begin()
-				c.Mark(StageLU)
+				c.Mark(StageFactor)
 				c.End()
 			}
 		}()
@@ -138,7 +138,7 @@ func TestClockZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Begin()
 		c.Mark(StageBias)
-		c.Mark(StageLU)
+		c.Mark(StageFactor)
 		c.End()
 	})
 	if allocs != 0 {
@@ -222,7 +222,7 @@ func TestFlightSnapshotRoundTrip(t *testing.T) {
 		Attempt:       2,
 		SampleEvery:   64,
 		TotalRecorded: 12,
-		Stages:        []StageBreakdown{{Stage: "lu", SampledEvals: 3, TotalSeconds: 0.5, MeanSeconds: 0.5 / 3}},
+		Stages:        []StageBreakdown{{Stage: "factor", SampledEvals: 3, TotalSeconds: 0.5, MeanSeconds: 0.5 / 3}},
 		Moves:         []MoveRecord{{Move: 500, MoveClass: "var", Accepted: true, DCost: -0.25}},
 	}
 	data, err := json.Marshal(snap)
