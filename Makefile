@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: ci vet build test race chaos fleet-chaos tenancy-chaos lint bench-json bench-check telemetry-guard
+.PHONY: ci vet build test race chaos fleet-chaos tenancy-chaos corner-chaos lint bench-json bench-check telemetry-guard
 
 # bench-check is a required gate: the sparse eval plans bought a large
 # ns/eval margin over the committed baseline, so the 15% regression
@@ -15,7 +15,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 # (the tools need network access to download on first run).
 # telemetry-guard also gates: its allocs/eval comparison is
 # deterministic, unlike timings.
-ci: vet build test race fleet-chaos tenancy-chaos telemetry-guard bench-check
+ci: vet build test race fleet-chaos tenancy-chaos corner-chaos telemetry-guard bench-check
 	-$(MAKE) lint
 
 vet:
@@ -56,6 +56,15 @@ tenancy-chaos:
 # poisoning — the exactly-once acceptance suite for distributed mode.
 fleet-chaos:
 	$(GO) test -race -count=1 ./internal/fleet
+
+# corner-chaos runs the worst-case-over-corners robustness drills under
+# the race detector: a multi-corner anneal must meet the specs at every
+# corner; with one corner fault-injected to fail permanently, the run
+# must retry, quarantine it, and finish degraded with per-corner
+# failure counts; and a kill/resume of that degraded run must reproduce
+# the uninterrupted run bit-exactly from its checkpoint.
+corner-chaos:
+	$(GO) test -race -count=1 -run 'TestCorner|TestDeriveCorner|TestCompileCorners|TestWorstCase|TestBatchRun' ./internal/oblx ./internal/astrx
 
 # lint is advisory: staticcheck and govulncheck run via `go run`, which
 # downloads them on first use. In an offline or hermetic environment the

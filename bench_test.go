@@ -16,8 +16,10 @@ import (
 
 	root "astrx"
 	"astrx/internal/acsim"
+	"astrx/internal/astrx"
 	"astrx/internal/awe"
 	"astrx/internal/bench"
+	"astrx/internal/netlist"
 	"astrx/internal/ckttest"
 	"astrx/internal/dcsolve"
 	"astrx/internal/eqbase"
@@ -97,6 +99,53 @@ func BenchmarkTable2EvalTwoStage(b *testing.B) { benchmarkCostEval(b, bench.TwoS
 func BenchmarkTable2EvalFoldedCascode(b *testing.B) { benchmarkCostEval(b, bench.FoldedCascode) }
 
 func BenchmarkTable2EvalBiCMOS(b *testing.B) { benchmarkCostEval(b, bench.BiCMOSTwoStage) }
+
+// BenchmarkTable2EvalCorners measures one worst-case candidate
+// evaluation of the Simple OTA over nominal + two process corners
+// through the K-lane batch workspace — the per-candidate price of
+// corner-aware synthesis next to the nominal-only rows above. The
+// `corners` metric records K, so benchjson can derive ns per corner
+// evaluation and compare it against the single-lane numbers.
+func BenchmarkTable2EvalCorners(b *testing.B) {
+	src := bench.DeckSource(bench.SimpleOTA) +
+		"\n.corner slow temp=85 nmos3.vto=0.95 vdd=2.4\n.corner fast temp=-40 vdd=2.6\n"
+	deck, err := netlist.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := astrx.CompileCorners(deck, []string{"slow", "fast"}, astrx.CostOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := cs.NewCornerBatch()
+	x := make([]float64, cs.NVars())
+	for i, v := range cs.Vars() {
+		x[i] = v.Start()
+	}
+	xs := make([][]float64, cs.K())
+	for i := range xs {
+		xs[i] = cs.LaneX(i, x, nil)
+	}
+	include := make([]bool, cs.K())
+	evaluated := make([]bool, cs.K())
+	for i := range include {
+		include[i] = true
+	}
+	bw.Run(xs) // warm the lane workspaces so steady-state allocations are measured
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw.Run(xs)
+		for j := 0; j < cs.K(); j++ {
+			evaluated[j] = bw.Lane(j).Err() == nil
+		}
+		if cost := cs.WorstCase(bw, include, evaluated); cost.Total <= 0 {
+			b.Fatal("degenerate worst-case cost")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cs.K()), "corners")
+}
 
 // BenchmarkTable2Synthesis runs a short Simple OTA synthesis per
 // iteration — the "CPU time/run" row at miniature scale.

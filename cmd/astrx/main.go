@@ -13,16 +13,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"astrx/internal/astrx"
 	"astrx/internal/bench"
 	"astrx/internal/netlist"
 )
 
+// parseCornersFlag maps the -corners flag value onto the SelectCorners
+// convention: "" and "all" select every declared corner (nil), "none"
+// forces nominal-only (empty non-nil), anything else is a name list.
+func parseCornersFlag(v string) []string {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "all":
+		return nil
+	case "none":
+		return []string{}
+	}
+	var out []string
+	for _, n := range strings.Split(v, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func main() {
 	benchName := flag.String("bench", "", "compile a builtin benchmark instead of a file")
 	list := flag.Bool("list", false, "list builtin benchmarks")
 	hashOnly := flag.Bool("hash", false, "print the deck's canonical content hash (the oblxd result-cache key input) and exit")
+	cornersFlag := flag.String("corners", "", `corners to compile plans for: comma-separated .corner names, "all" (default), or "none"`)
 	flag.Parse()
 
 	if *list {
@@ -103,5 +124,20 @@ func main() {
 			kind = "continuous"
 		}
 		fmt.Printf("  var %-10s [%.3g, %.3g] %s\n", v.Name, v.Min, v.Max, kind)
+	}
+
+	names, err := astrx.SelectCorners(deck, parseCornersFlag(*cornersFlag))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astrx:", err)
+		os.Exit(1)
+	}
+	if len(names) > 0 {
+		set, err := astrx.CompileCorners(deck, names, astrx.CostOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astrx:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  corners:       %d lanes (nominal + %s), %d worst-case annealing variables\n",
+			set.K(), strings.Join(names, ", "), set.NVars())
 	}
 }

@@ -40,12 +40,18 @@ type Entry struct {
 	// -benchmem; they track the hot path's steady-state heap traffic.
 	BytesPerEval  *float64 `json:"bytes_per_eval,omitempty"`
 	AllocsPerEval *int64   `json:"allocs_per_eval,omitempty"`
+	// NsPerCornerEval is derived for worst-case benchmarks that report a
+	// `corners` metric: ns/op divided by the lane count, i.e. the cost of
+	// one corner's evaluation — directly comparable to the single-lane
+	// ns_per_eval of the nominal Table 2 rows.
+	NsPerCornerEval float64 `json:"ns_per_corner_eval,omitempty"`
 	// Metrics holds any custom b.ReportMetric values the benchmark
 	// emitted. The eval benchmarks report the deck's matrix shape:
 	// mna_rows (dimension of the largest jig system), mna_nnz
 	// (structural nonzeros across jigs), fill_nnz (factor nonzeros
 	// including fill-in), and sparse (fraction of jig factorizations on
-	// the sparse replay path; 1 = fully sparse, 0 = dense fallback).
+	// the sparse replay path; 1 = fully sparse, 0 = dense fallback) —
+	// and, for the corner benchmarks, corners (lanes per evaluation).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -107,6 +113,9 @@ func parse(r io.Reader, filter string) ([]Entry, error) {
 				}
 				e.Metrics[unit] = v
 			}
+		}
+		if k := e.Metrics["corners"]; k > 0 {
+			e.NsPerCornerEval = e.NsPerEval / k
 		}
 		entries = append(entries, e)
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +69,25 @@ func flagProblems(moves, runs, ckptEvery, stageSample int, ckptPath string, resu
 	return probs
 }
 
+// parseCornersFlag maps the -corners flag value onto the SelectCorners
+// convention: "" and "all" select every declared corner (nil), "none"
+// forces nominal-only (empty non-nil), anything else is a name list.
+func parseCornersFlag(v string) []string {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "all":
+		return nil
+	case "none":
+		return []string{}
+	}
+	var out []string
+	for _, n := range strings.Split(v, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 func main() {
 	benchName := flag.String("bench", "", "synthesize a builtin benchmark")
 	moves := flag.Int("moves", 120_000, "annealing move budget per run")
@@ -81,6 +101,8 @@ func main() {
 	faultPanic := flag.Float64("fault-panic", 0, "inject evaluator panics at this rate (testing)")
 	faultNaN := flag.Float64("fault-nan", 0, "inject NaN costs at this rate (testing)")
 	faultNewton := flag.Float64("fault-newton", 0, "inject Newton non-convergence at this rate (testing)")
+	cornersFlag := flag.String("corners", "", `corners to synthesize against: comma-separated .corner names, "all" (default for cornered decks), or "none" for nominal-only`)
+	faultCorner := flag.String("fault-corner", "", "permanently fail this corner's evaluations (chaos testing)")
 	showMetrics := flag.Bool("metrics", false, "print a run-metrics summary (Prometheus text format) at exit")
 	traceOut := flag.String("trace-out", "", "write a flight-recorder trace (one JSON move record per line) to this file")
 	traceEvery := flag.Int("trace-every", 100, "moves between trace records (with -trace-out)")
@@ -157,6 +179,7 @@ func main() {
 		NoFreeze:        *noFreeze,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		Corners:         parseCornersFlag(*cornersFlag),
 	}
 	var timer *telemetry.EvalTimer
 	if *stageSample > 0 {
@@ -177,10 +200,14 @@ func main() {
 			flight.Record(ev.FlightRecord())
 		}
 	}
-	if *faultPanic > 0 || *faultNaN > 0 || *faultNewton > 0 {
-		opt.Faults = faults.New(*seed+997, faults.Rates{
+	if *faultPanic > 0 || *faultNaN > 0 || *faultNewton > 0 || *faultCorner != "" {
+		rates := faults.Rates{
 			EvalPanic: *faultPanic, NaNCost: *faultNaN, NewtonFail: *faultNewton,
-		})
+		}
+		if *faultCorner != "" {
+			rates.CornerFail, rates.FailCorner = 1, *faultCorner
+		}
+		opt.Faults = faults.New(*seed+997, rates)
 	}
 	if *resume {
 		ck, err := oblx.LoadCheckpoint(*ckptPath)
@@ -250,6 +277,28 @@ func main() {
 	}
 	if best.CheckpointErr != nil {
 		fmt.Fprintf(os.Stderr, "oblx: warning: checkpoint writes failed: %v\n", best.CheckpointErr)
+	}
+	if len(best.Corners) > 0 {
+		if best.Degraded {
+			fmt.Println("  DEGRADED: at least one corner was quarantined; the design is worst-case optimal over the surviving corners only")
+		}
+		fmt.Println("  corners (worst-case synthesis):")
+		for _, cr := range best.Corners {
+			status := "all specs met"
+			switch {
+			case cr.Quarantined:
+				status = fmt.Sprintf("QUARANTINED after %d failures (%d retries)", cr.Fails, cr.Retries)
+			case !cr.Evaluated:
+				status = "final evaluation FAILED"
+			case !cr.AllMet:
+				status = "specs NOT met"
+			}
+			dc := ""
+			if cr.Evaluated && !cr.DCSolved {
+				dc = ", bias not dc-solved"
+			}
+			fmt.Printf("    %-10s %s%s\n", cr.Name, status, dc)
+		}
 	}
 	fmt.Println("  design variables:")
 	for i := 0; i < best.Compiled.NUser; i++ {

@@ -397,6 +397,12 @@ func Run(ctx context.Context, p Problem, moves []Move, opt Options) (*Result, er
 		lastDCost = 0
 		copy(next, cur)
 		if !moves[mi].Propose(cur, next, rng) {
+			// A declined proposal (e.g. a Newton move whose solve failed)
+			// still spent the move: charge the class, exactly like the
+			// no-op path below — otherwise Hustin never learns a class is
+			// stuck and re-picks it forever at points it cannot improve.
+			sel.feedback(mi, false, 0)
+			moves[mi].Feedback(false, 0)
 			continue
 		}
 		// Snap proposed values onto the representable set.

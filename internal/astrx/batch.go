@@ -1,6 +1,7 @@
 package astrx
 
 import (
+	"context"
 	"fmt"
 
 	"astrx/internal/awe"
@@ -22,7 +23,13 @@ import (
 // evaluations produce. After warm-up a batch evaluation performs zero
 // heap allocations, like the scalar hot path.
 type BatchWorkspace struct {
-	c     *Compiled
+	c *Compiled
+	// laneC is the compiled problem behind each lane. For the plain
+	// K-candidate batch every entry is c; a corner batch points each
+	// lane at its corner's plan (same structure, corner-specific
+	// values), so stamping and fitting replay that corner's program
+	// while the factorizations still share the SoA batch.
+	laneC []*Compiled
 	lanes []*EvalWorkspace
 	bes   []*awe.BatchEngine
 	live  []bool
@@ -35,16 +42,53 @@ func (c *Compiled) NewBatchWorkspace(k int) *BatchWorkspace {
 	if k < 1 {
 		panic(fmt.Sprintf("astrx: NewBatchWorkspace: k = %d", k))
 	}
+	cs := make([]*Compiled, k)
+	for i := range cs {
+		cs[i] = c
+	}
+	return newBatch(c, cs)
+}
+
+// NewCornerBatch builds a K-lane batch evaluator with one lane per
+// corner-set lane (nominal first). Lanes share the nominal plan's
+// sparsity skeleton; the batch engine verifies each lane's runtime
+// pattern, so a corner that drifts structurally just falls back to its
+// scalar factorization instead of corrupting the batch.
+func (set *CornerSet) NewCornerBatch() *BatchWorkspace {
+	cs := make([]*Compiled, set.K())
+	for i := range cs {
+		cs[i] = set.Lane(i)
+	}
+	nom := set.Nominal
+	for i, c := range cs[1:] {
+		if len(c.plan.jigs) != len(nom.plan.jigs) {
+			panic(fmt.Sprintf("astrx: corner %s: %d jigs, nominal has %d",
+				set.Names[i], len(c.plan.jigs), len(nom.plan.jigs)))
+		}
+		for j := range c.plan.jigs {
+			if len(c.plan.jigs[j].tfs) != len(nom.plan.jigs[j].tfs) ||
+				c.plan.jigs[j].size != nom.plan.jigs[j].size {
+				panic(fmt.Sprintf("astrx: corner %s: jig %s shape differs from nominal",
+					set.Names[i], c.plan.jigs[j].name))
+			}
+		}
+	}
+	return newBatch(nom, cs)
+}
+
+func newBatch(c *Compiled, laneC []*Compiled) *BatchWorkspace {
+	k := len(laneC)
 	p := c.plan
 	bw := &BatchWorkspace{
 		c:     c,
+		laneC: laneC,
 		lanes: make([]*EvalWorkspace, k),
 		bes:   make([]*awe.BatchEngine, len(p.jigs)),
 		live:  make([]bool, k),
 		mus:   make([][]float64, k),
 	}
 	for i := range bw.lanes {
-		bw.lanes[i] = c.NewWorkspace()
+		bw.lanes[i] = laneC[i].NewWorkspace()
 	}
 	for j := range p.jigs {
 		engs := make([]*awe.Engine, k)
@@ -85,11 +129,39 @@ func (bw *BatchWorkspace) CostsInto(dst []float64, xs [][]float64) {
 	}
 }
 
+// RerunLane re-evaluates lane i alone through its compiled plan's
+// scalar path (bias → jigs → specs), overwriting the lane's state from
+// the last batch run. The per-corner retry policy uses it: a lane whose
+// batched evaluation failed gets one sequential re-attempt before the
+// failure is charged to its corner.
+func (bw *BatchWorkspace) RerunLane(i int, x []float64) error {
+	ws := bw.lanes[i]
+	ws.run(x, true)
+	return ws.err
+}
+
 // Run evaluates the candidates xs (len(xs) ≤ K) without computing costs
 // or touching the compiled problem's adaptive-weight statistics — the
-// batch analogue of Compiled.Evaluate. Per-lane results are read via
+// batch analogue of Compiled.Evaluate. A nil xs[i] skips lane i for
+// this call (its Err reports the skip) — how corner batches avoid
+// paying for quarantined corners. Per-lane results are read via
 // Lane(i).State and Lane(i).Err.
 func (bw *BatchWorkspace) Run(xs [][]float64) {
+	bw.runCtx(nil, xs) //nolint:errcheck // nil ctx never cancels
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// between pipeline stages (cheap — never inside the linear-algebra
+// inner loops), and on cancellation every lane still pending is marked
+// failed with the context's error and RunCtx returns it promptly.
+// Already-completed stages are untouched and the workspace remains
+// fully reusable: the next Run starts from a clean slate, with lane
+// death semantics identical to an uncancelled call.
+func (bw *BatchWorkspace) RunCtx(ctx context.Context, xs [][]float64) error {
+	return bw.runCtx(ctx, xs)
+}
+
+func (bw *BatchWorkspace) runCtx(ctx context.Context, xs [][]float64) error {
 	k := len(xs)
 	if k > len(bw.lanes) {
 		panic(fmt.Sprintf("astrx: batch: %d candidates > %d lanes", k, len(bw.lanes)))
@@ -99,10 +171,38 @@ func (bw *BatchWorkspace) Run(xs [][]float64) {
 	for i := range live {
 		live[i] = false
 	}
+	cancelled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			for i := 0; i < k; i++ {
+				if live[i] {
+					bw.lanes[i].err = fmt.Errorf("astrx: batch cancelled: %w", err)
+					live[i] = false
+				}
+			}
+			return err
+		}
+		return nil
+	}
+	if err := cancelled(); err != nil {
+		// Even lanes that never started report the cancellation, so a
+		// caller reading Lane(i).Err cannot mistake stale results for
+		// this call's.
+		for i := 0; i < k; i++ {
+			bw.lanes[i].err = fmt.Errorf("astrx: batch cancelled: %w", ctx.Err())
+		}
+		return err
+	}
 
 	// Bias prefix per lane: node voltages, device operating points, KCL.
 	for i := 0; i < k; i++ {
 		ws := bw.lanes[i]
+		if xs[i] == nil {
+			ws.err = fmt.Errorf("astrx: batch lane %d skipped", i)
+			continue
+		}
 		ws.run(xs[i], false)
 		live[i] = ws.err == nil
 	}
@@ -110,9 +210,14 @@ func (bw *BatchWorkspace) Run(xs [][]float64) {
 	// Jigs: stamp per lane, factor as a batch, advance every transfer
 	// function's moment recursion in lockstep, fit per lane. A lane that
 	// fails is dead for all remaining work, exactly like the scalar
-	// evaluator's early return.
+	// evaluator's early return. Corner batches stamp and fit each lane
+	// through its own corner's plan; the reference (nominal) plan drives
+	// the shared structure.
 	p := bw.c.plan
 	for j := range p.jigs {
+		if err := cancelled(); err != nil {
+			return err
+		}
 		jp := p.jigs[j]
 		be := bw.bes[j]
 		for i := 0; i < k; i++ {
@@ -120,7 +225,7 @@ func (bw *BatchWorkspace) Run(xs [][]float64) {
 				continue
 			}
 			ws := bw.lanes[i]
-			if err := ws.stampJig(jp, &ws.jigs[j]); err != nil {
+			if err := ws.stampJig(bw.laneC[i].plan.jigs[j], &ws.jigs[j]); err != nil {
 				ws.err = err
 				live[i] = false
 			}
@@ -134,14 +239,11 @@ func (bw *BatchWorkspace) Run(xs [][]float64) {
 		}
 		for t := range jp.tfs {
 			tp := &jp.tfs[t]
-			if tp.err != nil {
-				for i := 0; i < k; i++ {
-					if live[i] {
-						bw.lanes[i].err = fmt.Errorf("astrx: jig %s tf %s: %w", jp.name, tp.name, tp.err)
-						live[i] = false
-					}
+			for i := 0; i < k; i++ {
+				if tpl := &bw.laneC[i].plan.jigs[j].tfs[t]; live[i] && tpl.err != nil {
+					bw.lanes[i].err = fmt.Errorf("astrx: jig %s tf %s: %w", jp.name, tpl.name, tpl.err)
+					live[i] = false
 				}
-				break
 			}
 			for i := range bw.mus {
 				bw.mus[i] = nil
@@ -152,10 +254,13 @@ func (bw *BatchWorkspace) Run(xs [][]float64) {
 			be.MomentsAll(live, bw.mus, tp.b, tp.ip, tp.in)
 			for i := 0; i < k; i++ {
 				if live[i] {
-					bw.lanes[i].fitTF(tp, bw.mus[i])
+					bw.lanes[i].fitTF(&bw.laneC[i].plan.jigs[j].tfs[t], bw.mus[i])
 				}
 			}
 		}
+	}
+	if err := cancelled(); err != nil {
+		return err
 	}
 
 	// Specs per lane.
@@ -164,4 +269,5 @@ func (bw *BatchWorkspace) Run(xs [][]float64) {
 			bw.lanes[i].evalSpecs()
 		}
 	}
+	return nil
 }

@@ -620,8 +620,28 @@ func (ws *EvalWorkspace) costFromRun() CostBreakdown {
 		}
 	}
 
+	regViol := ws.regionViolation()
+	out.Dev = w.Region * regViol
+	w.emaReg = emaDecay*w.emaReg + (1-emaDecay)*math.Min(regViol, 1)
+
+	kclViol := ws.kclViolation()
+	out.DC = w.KCL * kclViol
+	w.emaKCL = emaDecay*w.emaKCL + (1-emaDecay)*math.Min(kclViol, 1)
+
+	out.Total = out.Objective + out.Perf + out.Dev + out.DC
+	if math.IsNaN(out.Total) || math.IsInf(out.Total, 0) {
+		out.Failed = true
+		out.Total = c.Opt.FailCost
+	}
+	return out
+}
+
+// regionViolation accumulates the operating-region violation (volts)
+// from the last run — the raw C^dev quantity, without weights or EMA
+// side effects, shared by the scalar and worst-case-corner assemblies.
+func (ws *EvalWorkspace) regionViolation() float64 {
 	regViol := 0.0
-	for i, r := range c.Deck.Regions {
+	for i, r := range ws.c.Deck.Regions {
 		opIdx := ws.plan.regions[i]
 		if opIdx < 0 {
 			continue
@@ -638,26 +658,21 @@ func (ws *EvalWorkspace) costFromRun() CostBreakdown {
 		}
 		regViol += v
 	}
-	out.Dev = w.Region * regViol
-	w.emaReg = emaDecay*w.emaReg + (1-emaDecay)*math.Min(regViol, 1)
+	return regViol
+}
 
+// kclViolation accumulates the normalized relaxed-dc KCL violation from
+// the last run — the raw C^dc quantity of eq. (3).
+func (ws *EvalWorkspace) kclViolation() float64 {
 	kclViol := 0.0
 	for _, slot := range ws.plan.freeIdx {
 		res := math.Abs(ws.kclRes[slot])
-		if res <= c.Opt.KCLTolAbs {
+		if res <= ws.c.Opt.KCLTolAbs {
 			continue
 		}
-		kclViol += (res - c.Opt.KCLTolAbs) / (ws.kclFlow[slot] + 1e-6)
+		kclViol += (res - ws.c.Opt.KCLTolAbs) / (ws.kclFlow[slot] + 1e-6)
 	}
-	out.DC = w.KCL * kclViol
-	w.emaKCL = emaDecay*w.emaKCL + (1-emaDecay)*math.Min(kclViol, 1)
-
-	out.Total = out.Objective + out.Perf + out.Dev + out.DC
-	if math.IsNaN(out.Total) || math.IsInf(out.Total, 0) {
-		out.Failed = true
-		out.Total = c.Opt.FailCost
-	}
-	return out
+	return kclViol
 }
 
 // State projects the workspace's last evaluation into a map-based

@@ -24,6 +24,7 @@ const (
 	EvalPanic  Kind = iota // evaluator panics mid-evaluation
 	NaNCost                // evaluator returns a NaN cost
 	NewtonFail             // Newton solver reports non-convergence
+	CornerFail             // one named corner's evaluation fails
 	nKinds
 )
 
@@ -36,6 +37,8 @@ func (k Kind) String() string {
 		return "nan-cost"
 	case NewtonFail:
 		return "newton-fail"
+	case CornerFail:
+		return "corner-fail"
 	}
 	if name, ok := fsKindNames[k]; ok {
 		return name
@@ -64,6 +67,10 @@ type Rates struct {
 	EvalPanic  float64
 	NaNCost    float64
 	NewtonFail float64
+	// CornerFail fails the evaluation of the corner named FailCorner at
+	// this rate. Other corners and the nominal lane are never targeted.
+	CornerFail float64
+	FailCorner string
 }
 
 // Injector is a seeded, thread-safe fault source. The zero value and
@@ -118,6 +125,25 @@ func (in *Injector) NaNCost() bool {
 	return in.roll(NaNCost, in.rateOf(NaNCost))
 }
 
+// CornerFail reports whether the named corner's evaluation should be
+// failed. Rates of 0 and ≥1 short-circuit without consuming the
+// injector's random stream: a permanently failing corner injects the
+// same fault schedule whether or not the run was killed and resumed
+// from a checkpoint (injector rng state is not checkpointed), which the
+// corner-chaos bit-exact-resume tests depend on.
+func (in *Injector) CornerFail(name string) bool {
+	if in == nil || in.rates.CornerFail <= 0 || name != in.rates.FailCorner {
+		return false
+	}
+	if in.rates.CornerFail >= 1 {
+		in.mu.Lock()
+		in.counts[CornerFail]++
+		in.mu.Unlock()
+		return true
+	}
+	return in.roll(CornerFail, in.rates.CornerFail)
+}
+
 // NewtonHook returns a dcsolve.Options.FailHook that forces
 // non-convergence at the configured rate, or nil for a nil injector.
 func (in *Injector) NewtonHook() func() bool {
@@ -138,6 +164,8 @@ func (in *Injector) rateOf(k Kind) float64 {
 		return in.rates.NaNCost
 	case NewtonFail:
 		return in.rates.NewtonFail
+	case CornerFail:
+		return in.rates.CornerFail
 	}
 	return 0
 }

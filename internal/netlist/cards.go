@@ -51,6 +51,8 @@ func (p *parser) card(head string, toks []string) error {
 		return p.cardSpec(head == ".obj", toks)
 	case ".region":
 		return p.cardRegion(toks)
+	case ".corner":
+		return p.cardCorner(toks)
 	case ".include":
 		return p.cardInclude(toks)
 	}

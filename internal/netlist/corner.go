@@ -1,0 +1,172 @@
+package netlist
+
+import (
+	"strings"
+
+	"astrx/internal/circuit"
+	"astrx/internal/expr"
+)
+
+// Corner is one named operating corner: a set of deck-level overrides
+// (device-model constants, supply/bias source values, ambient
+// temperature) under which the circuit must still meet its specs. The
+// synthesis engine compiles one evaluation plan per selected corner and
+// anneals on the worst spec value over all of them.
+//
+// Card syntax, one card per corner at deck top level:
+//
+//	.corner slow  temp=85 nmos3.vto=0.95 pmos3.vto=-0.95 vdd=4.5
+//	.corner fast  temp=-40 nmos3.vto=0.65 vdd=5.5
+//
+// Keys are classified by shape: "temp" is the ambient temperature in
+// °C (nominal 27); a dotted key "model.param" overrides one parameter
+// of one .model card; a bare key overrides either a .const of that name
+// or the DC value of a top-level V/I source in the bias circuit or a
+// jig (resolved at validation time).
+type Corner struct {
+	Name string
+	// Temp is the corner's ambient temperature in °C; TempSet reports
+	// whether the card gave one. The compiler maps the delta from the
+	// nominal 27 °C onto documented model-card derates (threshold shift,
+	// mobility scaling) rather than re-deriving device physics.
+	Temp    float64
+	TempSet bool
+	// Model maps model name → parameter → override value.
+	Model map[string]map[string]float64
+	// Set holds the bare-key overrides: .const values or V/I source DC
+	// values, by name. Which one a name binds to is resolved against the
+	// deck during validation and compilation (consts win; a name that is
+	// neither is a validation error).
+	Set map[string]float64
+}
+
+// NominalTemp is the reference ambient temperature (°C) a corner's
+// temp= delta is measured from.
+const NominalTemp = 27.0
+
+// Corner returns the named corner or nil.
+func (d *Deck) Corner(name string) *Corner {
+	for _, c := range d.Corners {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// CornerNames lists the declared corner names in deck order.
+func (d *Deck) CornerNames() []string {
+	out := make([]string, len(d.Corners))
+	for i, c := range d.Corners {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// cardCorner parses `.corner <name> [temp=T] [model.param=v] [name=v]...`.
+func (p *parser) cardCorner(toks []string) error {
+	if len(toks) < 2 {
+		return p.errf(".corner needs a name")
+	}
+	name := strings.ToLower(toks[1])
+	if name == "nominal" {
+		return p.errf(`.corner: the name "nominal" is reserved for the uncornered deck`)
+	}
+	if p.deck.Corner(name) != nil {
+		return p.errf("duplicate .corner %q", name)
+	}
+	c := &Corner{Name: name}
+	for _, kv := range toks[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p.errf(".corner %s: %q is not key=value", name, kv)
+		}
+		x, err := expr.ParseNumber(val)
+		if err != nil {
+			return p.errf(".corner %s: %s: %v", name, key, err)
+		}
+		key = strings.ToLower(key)
+		switch {
+		case key == "temp":
+			c.Temp, c.TempSet = x, true
+		case strings.Contains(key, "."):
+			model, param, _ := strings.Cut(key, ".")
+			if model == "" || param == "" {
+				return p.errf(".corner %s: malformed model override %q (want model.param=value)", name, kv)
+			}
+			if c.Model == nil {
+				c.Model = make(map[string]map[string]float64)
+			}
+			if c.Model[model] == nil {
+				c.Model[model] = make(map[string]float64)
+			}
+			c.Model[model][param] = x
+		default:
+			if c.Set == nil {
+				c.Set = make(map[string]float64)
+			}
+			c.Set[key] = x
+		}
+	}
+	p.deck.Corners = append(p.deck.Corners, c)
+	p.deck.SynthLines++
+	return nil
+}
+
+// validateCorners collects corner-card errors: unreasonable
+// temperatures, overrides of models that don't exist, and bare-key
+// overrides that bind to neither a .const nor a top-level V/I source.
+// Called from Deck.Validate with its error collector.
+func (d *Deck) validateCorners(addf func(format string, args ...any)) {
+	// Source-override candidates: top-level V/I elements of the bias
+	// circuit and every jig, by name.
+	sources := make(map[string]bool)
+	jigs := d.Jigs
+	if d.Bias != nil {
+		jigs = append(append([]*Jig(nil), d.Jigs...), d.Bias)
+	}
+	for _, j := range jigs {
+		for _, e := range j.Elements {
+			if e.Kind == circuit.KindV || e.Kind == circuit.KindI {
+				sources[strings.ToLower(e.Name)] = true
+			}
+		}
+	}
+
+	// Corner card keys fold to lowercase; consts and design variables are
+	// declared mixed-case, so match them case-insensitively.
+	consts := make(map[string]bool, len(d.Consts))
+	for name := range d.Consts {
+		consts[strings.ToLower(name)] = true
+	}
+	vars := make(map[string]bool, len(d.Vars))
+	for _, v := range d.Vars {
+		vars[strings.ToLower(v.Name)] = true
+	}
+
+	seen := make(map[string]bool, len(d.Corners))
+	for _, c := range d.Corners {
+		if seen[c.Name] {
+			addf("duplicate .corner %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.TempSet && (c.Temp < -100 || c.Temp > 300) {
+			addf(".corner %s: temp %g °C outside the plausible [-100, 300] range", c.Name, c.Temp)
+		}
+		for model := range c.Model {
+			if _, ok := d.Models[model]; !ok {
+				addf(".corner %s: override of unknown model %q", c.Name, model)
+			}
+		}
+		for key := range c.Set {
+			if consts[key] || sources[key] {
+				continue
+			}
+			if vars[key] {
+				addf(".corner %s: %q is a design variable — corners may only override consts, sources, and model parameters", c.Name, key)
+				continue
+			}
+			addf(".corner %s: override %q matches no .const and no V/I source", c.Name, key)
+		}
+	}
+}

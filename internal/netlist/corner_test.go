@@ -1,0 +1,133 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+const corneredDeck = `
+.model nmos1 nmos level=1 vto=0.8 kp=50u
+.jig main
+vin in 0 0 ac 1
+r1 in out 1k
+r2 out 0 R2
+.pz tf v(out) vin
+.ends
+.bias
+vb in 0 Vb
+r1 in out 1k
+r2 out 0 R2
+.ends
+.var R2 min=100 max=100k grid
+.const Vb 1
+.obj gain 'dc_gain(tf)' good=0.99 bad=0.1
+.corner slow temp=85 nmos1.vto=0.95 Vb=0.9
+.corner fast temp=-40 vb=1.1
+`
+
+func TestParseCorners(t *testing.T) {
+	d, err := Parse(corneredDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Corners) != 2 {
+		t.Fatalf("got %d corners, want 2", len(d.Corners))
+	}
+	slow := d.Corner("slow")
+	if slow == nil {
+		t.Fatal("corner slow missing")
+	}
+	if !slow.TempSet || slow.Temp != 85 {
+		t.Errorf("slow temp = %v (set=%v), want 85", slow.Temp, slow.TempSet)
+	}
+	if got := slow.Model["nmos1"]["vto"]; got != 0.95 {
+		t.Errorf("slow nmos1.vto = %g, want 0.95", got)
+	}
+	// "Vb" matches the .const (keys are lowercased, and Vb the const is
+	// resolved case-sensitively at compile; the card key folds to
+	// lowercase so it binds to the source vb or const).
+	fast := d.Corner("fast")
+	if fast == nil || fast.Set["vb"] != 1.1 {
+		t.Fatalf("fast vb override missing: %+v", fast)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got, want := d.CornerNames(), []string{"slow", "fast"}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("CornerNames = %v, want %v", got, want)
+	}
+}
+
+func TestCornerValidation(t *testing.T) {
+	cases := []struct {
+		name, card, wantErr string
+	}{
+		{"unknown model", ".corner c1 bogus.vto=0.9", "unknown model"},
+		{"unknown override", ".corner c1 nosuch=1", "matches no .const"},
+		{"design var", ".corner c1 R2=5k", "design variable"},
+		{"crazy temp", ".corner c1 temp=900", "plausible"},
+	}
+	base := strings.Replace(corneredDeck, ".corner slow temp=85 nmos1.vto=0.95 Vb=0.9\n.corner fast temp=-40 vb=1.1\n", "", 1)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(base + tc.card + "\n")
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCornerParseErrors(t *testing.T) {
+	for _, src := range []string{
+		".corner",
+		".corner nominal temp=85",
+		".corner c1 temp",
+		".corner c1 .vto=1",
+		".corner c1 nmos1.=1",
+		".corner c1 temp=85\n.corner c1 temp=0",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestCornerCanonicalHash proves the rescache invariant: any change to
+// the corner section changes the deck's canonical hash, so a cornered
+// job can never be served a nominal (or differently-cornered) cached
+// result.
+func TestCornerCanonicalHash(t *testing.T) {
+	base := strings.Replace(corneredDeck, ".corner fast temp=-40 vb=1.1\n", "", 1)
+	variants := []string{
+		corneredDeck,
+		base,
+		strings.Replace(base, "temp=85", "temp=86", 1),
+		strings.Replace(base, ".corner slow", ".corner slo", 1),
+	}
+	seen := make(map[string]string, len(variants))
+	for _, src := range variants {
+		h, err := CanonicalHash(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between variants:\n%s\n--- and ---\n%s", prev, src)
+		}
+		seen[h] = src
+	}
+	// Comment/whitespace noise still canonicalizes away.
+	noisy := strings.Replace(corneredDeck, ".corner slow", "* a comment\n.corner   slow", 1)
+	h1, _ := CanonicalHash(corneredDeck)
+	h2, err := CanonicalHash(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("whitespace/comment noise changed the canonical hash")
+	}
+}

@@ -117,6 +117,7 @@ type Deck struct {
 	Jigs    []*Jig
 	Bias    *Jig
 	Regions []*RegionReq
+	Corners []*Corner
 
 	// Line accounting for Table-1-style reporting.
 	NetlistLines int // module/jig/bias bodies, model and lib cards

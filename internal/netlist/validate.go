@@ -167,6 +167,8 @@ func (d *Deck) Validate() error {
 		})
 	}
 
+	d.validateCorners(addf)
+
 	// Regions: the constrained device must exist on the path the bias
 	// circuit instantiates. Only the first path segment is checkable
 	// without flattening — it must name an element of the bias circuit.

@@ -35,9 +35,28 @@ type Checkpoint struct {
 	NonFinite   int `json:"non_finite"`
 	Retries     int `json:"retries"`
 	Quarantined int `json:"quarantined"`
-	Unstable    int `json:"unstable,omitempty"`
+	// Unstable is the Padé-instability counter — the shared workspace's
+	// for nominal-only runs, the nominal batch lane's for cornered runs.
+	Unstable int `json:"unstable,omitempty"`
+
+	// Corners carries the per-corner failure state of a worst-case run,
+	// in lane order. Resuming requires the same corner selection: the
+	// lane names must match exactly, and a nominal-only run refuses a
+	// checkpoint that carries corner state (and vice versa — the master
+	// variable count differs, so the Vars guard catches that direction).
+	Corners []CornerCheckpoint `json:"corners,omitempty"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// CornerCheckpoint is one corner's resumable failure state.
+type CornerCheckpoint struct {
+	Name        string `json:"name"`
+	Fails       int    `json:"fails"`
+	Retries     int    `json:"retries"`
+	Consec      int    `json:"consec"`
+	Quarantined bool   `json:"quarantined"`
+	Unstable    int    `json:"unstable,omitempty"`
 }
 
 // check validates the checkpoint against the compiled problem.

@@ -45,6 +45,14 @@ type Options struct {
 	// Cost passes through to the compiler.
 	Cost astrx.CostOptions
 
+	// Corners selects the operating corners to synthesize against: the
+	// run compiles one evaluation plan per corner and anneals on the
+	// worst spec value over all of them (plus the nominal). nil means
+	// every corner the deck declares — a cornered deck is robust by
+	// default; an explicit empty (non-nil) slice forces a nominal-only
+	// run. Unknown names are an error.
+	Corners []string
+
 	// RecordTrace enables the Fig. 2 instrumentation: KCL error and cost
 	// snapshots along the run.
 	RecordTrace bool
@@ -215,11 +223,49 @@ type FailureStats struct {
 	// deserves scrutiny, so the count is surfaced here and as the daemon's
 	// oblxd_eval_unstable_total metric.
 	Unstable int `json:"unstable,omitempty"`
+	// Corners itemizes the failures per corner for worst-case runs (nil
+	// for nominal-only runs). These are lane-level events the run
+	// degraded around, not candidate-level rejections: a corner failure
+	// charges that corner the worst-case penalty, and only quarantine
+	// removes it from the assembly.
+	Corners map[string]CornerFailures `json:"corners,omitempty"`
+}
+
+// CornerFailures is one corner's failure ledger.
+type CornerFailures struct {
+	// Fails counts evaluations that still failed after the in-move retry.
+	Fails int `json:"fails"`
+	// Retries counts in-move scalar re-attempts after a batched failure.
+	Retries int `json:"retries"`
+	// Quarantined reports the corner was excluded from the worst-case
+	// assembly after cornerQuarantineAfter consecutive failures.
+	Quarantined bool `json:"quarantined"`
 }
 
 // Total sums all failure events.
 func (f FailureStats) Total() int {
 	return f.PanicsRecovered + f.NonFiniteCosts + f.Quarantined + f.RejectedMoves
+}
+
+// CornerResult is one lane's verdict at the final design of a
+// worst-case run: whether its evaluation succeeded, whether its bias
+// polished to dc-correctness, its measured spec values, and its failure
+// history along the run.
+type CornerResult struct {
+	Name string `json:"name"`
+	// Quarantined reports the corner was dropped from the worst-case
+	// assembly (the run is Degraded).
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Evaluated reports the final evaluation at this corner succeeded;
+	// SpecVals and AllMet are meaningful only when it did.
+	Evaluated bool `json:"evaluated"`
+	DCSolved  bool `json:"dc_solved"`
+	// AllMet reports every non-objective spec is satisfied at this
+	// corner.
+	AllMet   bool               `json:"all_met"`
+	Fails    int                `json:"fails,omitempty"`
+	Retries  int                `json:"retries,omitempty"`
+	SpecVals map[string]float64 `json:"spec_vals,omitempty"`
 }
 
 // Result is a completed synthesis run.
@@ -242,6 +288,14 @@ type Result struct {
 	MoveStats []anneal.MoveStat
 	Trace     []TraceSample
 	Seed      int64
+
+	// Degraded reports that at least one corner was quarantined: the
+	// returned design is the worst-case optimum over the surviving
+	// corners only, and the per-corner breakdown says which dropped out.
+	Degraded bool
+	// Corners is the final per-lane breakdown of a worst-case run
+	// (nominal first; nil for nominal-only runs).
+	Corners []CornerResult
 
 	// Failures itemizes the numerical failures absorbed along the run.
 	Failures FailureStats
@@ -276,6 +330,10 @@ const evalRetries = 2
 type problem struct {
 	c   *astrx.Compiled
 	inj *faults.Injector
+	// ce, when non-nil, routes evaluations through the worst-case-over-
+	// corners assembly instead of the scalar cost; the candidate-level
+	// hardening (panic recovery, NaN retry, quarantine) stays identical.
+	ce *cornerEval
 
 	evals       int
 	panics      int
@@ -284,7 +342,12 @@ type problem struct {
 	quarantined int
 }
 
-func (p *problem) Vars() []anneal.VarSpec { return p.c.Vars() }
+func (p *problem) Vars() []anneal.VarSpec {
+	if p.ce != nil {
+		return p.ce.cs.Vars()
+	}
+	return p.c.Vars()
+}
 
 func (p *problem) Cost(x []float64) float64 {
 	p.evals++
@@ -317,6 +380,9 @@ func (p *problem) tryCost(x []float64) (cost float64, panicked bool) {
 	if p.inj.NaNCost() {
 		return math.NaN(), false
 	}
+	if p.ce != nil {
+		return p.ce.cost(x), false
+	}
 	return p.c.Cost(x), false
 }
 
@@ -328,24 +394,72 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c, err := astrx.Compile(deck, opt.Cost)
+	cornerNames, err := astrx.SelectCorners(deck, opt.Corners)
 	if err != nil {
 		return nil, err
 	}
-	p := &problem{c: c, inj: opt.Faults}
-	vars := c.Vars()
+	var (
+		c  *astrx.Compiled
+		ce *cornerEval
+	)
+	if len(cornerNames) > 0 {
+		cs, err := astrx.CompileCorners(deck, cornerNames, opt.Cost)
+		if err != nil {
+			return nil, err
+		}
+		c = cs.Nominal
+		ce = newCornerEval(cs, opt.Faults)
+	} else {
+		c, err = astrx.Compile(deck, opt.Cost)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &problem{c: c, inj: opt.Faults, ce: ce}
+	vars := p.Vars()
+	// nomX projects a (possibly master) annealing vector onto the
+	// nominal lane, for the trace/progress paths that evaluate through
+	// the nominal compiled problem.
+	var nomBuf []float64
+	nomX := func(x []float64) []float64 {
+		if ce == nil {
+			return x
+		}
+		nomBuf = ce.cs.LaneX(0, x, nomBuf)
+		return nomBuf
+	}
 	if opt.StageTimer != nil {
 		// Each Run compiles its own problem, so the shared workspace is
 		// single-goroutine here; the clock funnels into the (atomic)
 		// shared timer.
-		c.Workspace().SetClock(opt.StageTimer.NewClock())
+		if ce != nil {
+			ce.bw.Lane(0).SetClock(opt.StageTimer.NewClock())
+		} else {
+			c.Workspace().SetClock(opt.StageTimer.NewClock())
+		}
 	}
 
+	// The generic perturbation classes explore the scalar prefix only:
+	// user variables plus the nominal node section. In a cornered run
+	// the corner node sections are relaxation state that tracks each
+	// corner's own bias — random kicks there can only add KCL violation
+	// (summed over lanes, so an all-variable kick pays K× the scalar
+	// uphill and is never accepted), and they dilute the user-variable
+	// exploration the anneal actually needs. The corner Newton moves
+	// are the sole writers of the corner sections.
+	pvars := vars
+	if ce != nil {
+		pvars = vars[:ce.cs.NUser+ce.cs.NFree]
+	}
 	moves := []anneal.Move{
-		anneal.NewRandomStep("random", vars, 0.3),
-		anneal.NewAllStep("all-cont", vars),
+		anneal.NewRandomStep("random", pvars, 0.3),
+		anneal.NewAllStep("all-cont", pvars),
 		newtonMove(ctx, c, opt.Faults, "newton-full", 12),
 		newtonMove(ctx, c, opt.Faults, "newton-step", 1),
+	}
+	if ce != nil {
+		moves[2] = cornerNewtonMove(ctx, ce, "newton-full", 12)
+		moves[3] = cornerNewtonMove(ctx, ce, "newton-step", 1)
 	}
 	moveNames := make([]string, len(moves))
 	for i, m := range moves {
@@ -365,7 +479,17 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 		p.nanCosts = ck.NonFinite
 		p.retries = ck.Retries
 		p.quarantined = ck.Quarantined
-		c.Workspace().SetUnstableCount(ck.Unstable)
+		if ce != nil {
+			if err := ce.restore(ck); err != nil {
+				return nil, err
+			}
+		} else {
+			if len(ck.Corners) > 0 {
+				return nil, fmt.Errorf("oblx: checkpoint carries %d corners but the run is nominal-only — wrong corner selection?",
+					len(ck.Corners))
+			}
+			c.Workspace().SetUnstableCount(ck.Unstable)
+		}
 		baseDur = time.Duration(ck.ElapsedNS)
 	}
 
@@ -379,7 +503,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 			c.Weights.Adapt(deck)
 		}
 		if opt.RecordTrace {
-			st := c.EvaluateBias(tp.X)
+			st := c.EvaluateBias(nomX(tp.X))
 			kcl := 0.0
 			if st.Err == nil {
 				kcl = st.MaxKCLError()
@@ -418,7 +542,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 					ev.Hustin[moveNames[i]] = q
 				}
 			}
-			if st := c.Evaluate(tp.X); st.Err == nil {
+			if st := c.Evaluate(nomX(tp.X)); st.Err == nil {
 				ev.MaxKCLError = st.MaxKCLError()
 				ev.SpecVals = finiteSpecVals(st.SpecVals)
 				ev.WorstSpec, ev.WorstSpecU = worstSpec(c, st)
@@ -450,8 +574,13 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 				NonFinite:   p.nanCosts,
 				Retries:     p.retries,
 				Quarantined: p.quarantined,
-				Unstable:    c.Workspace().UnstableCount(),
 				ElapsedNS:   int64(baseDur + time.Since(start)),
+			}
+			if ce != nil {
+				ck.Unstable = ce.bw.Lane(0).UnstableCount()
+				ck.Corners = ce.cornerCheckpoints()
+			} else {
+				ck.Unstable = c.Workspace().UnstableCount()
 			}
 			if err := SaveCheckpoint(opt.CheckpointPath, ck); err != nil {
 				ckErr = err
@@ -471,14 +600,29 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 	// gets its polish — it is bounded work and the returned design
 	// should be the best usable one.
 	best := append([]float64(nil), res.Best...)
-	best, dcOK := polishDC(context.WithoutCancel(ctx), c, opt.Faults, best)
-
-	st := c.Evaluate(best)
+	var (
+		dcOK   bool
+		laneDC []bool
+		st     *astrx.EvalState
+		cost   astrx.CostBreakdown
+	)
+	if ce != nil {
+		best, dcOK, laneDC = polishCorners(context.WithoutCancel(ctx), ce, best)
+		// One final worst-case evaluation at the polished point: the
+		// result's cost, the nominal state, and the per-corner verdicts
+		// all come from this single pass.
+		cost = ce.eval(best)
+		st = ce.bw.Lane(0).State()
+	} else {
+		best, dcOK = polishDC(context.WithoutCancel(ctx), c, opt.Faults, best)
+		st = c.Evaluate(best)
+		cost = c.CostFromState(st)
+	}
 	out := &Result{
 		Compiled:  c,
 		DCSolved:  dcOK,
 		X:         best,
-		Cost:      c.CostFromState(st),
+		Cost:      cost,
 		State:     st,
 		Moves:     res.Moves,
 		Accepted:  res.Accepted,
@@ -498,6 +642,12 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 			Unstable:        c.Workspace().UnstableCount(),
 		},
 		CheckpointErr: ckErr,
+	}
+	if ce != nil {
+		out.Failures.Unstable = ce.unstableCount()
+		out.Failures.Corners = ce.failureStats()
+		out.Degraded = ce.degraded()
+		out.Corners = ce.cornerResults(laneDC)
 	}
 	return out, nil
 }

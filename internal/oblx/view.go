@@ -28,6 +28,13 @@ type ResultView struct {
 	// SpecVals are OBLX's predicted spec values at the final point.
 	SpecVals map[string]float64 `json:"spec_vals"`
 
+	// Degraded reports a worst-case run that quarantined at least one
+	// corner: the design is optimal only over the surviving corners.
+	Degraded bool `json:"degraded,omitempty"`
+	// Corners is the per-corner verdict of a worst-case run (nominal
+	// lane first; empty for nominal-only runs).
+	Corners []CornerResult `json:"corners,omitempty"`
+
 	Failures  FailureStats      `json:"failures"`
 	MoveStats []anneal.MoveStat `json:"move_stats,omitempty"`
 }
@@ -59,6 +66,8 @@ func (r *Result) View() *ResultView {
 			Dev: r.Cost.Dev, DC: r.Cost.DC,
 			Total: r.Cost.Total, Failed: r.Cost.Failed,
 		},
+		Degraded:  r.Degraded,
+		Corners:   r.Corners,
 		Failures:  r.Failures,
 		MoveStats: r.MoveStats,
 	}

@@ -64,7 +64,11 @@ func ParseMode(s string) (Mode, error) {
 // engine changes in a result-affecting way (cost function, annealing
 // schedule, verification): every pre-bump entry then misses and ages
 // out of the LRU, which is exactly cache invalidation on version bump.
-const SchemaVersion = 1
+//
+// v2: corner-aware synthesis — KeyOptions gained Corners, and the deck's
+// .corner cards flow through the canonical text, so pre-corner entries
+// (computed by an engine that ignored both) must not be served.
+const SchemaVersion = 2
 
 // KeyOptions are the result-affecting job options folded into a key.
 // Progress cadence and other observability knobs are deliberately
@@ -74,6 +78,13 @@ type KeyOptions struct {
 	MaxMoves int   `json:"max_moves"`
 	Runs     int   `json:"runs"`
 	NoFreeze bool  `json:"no_freeze"`
+	// Corners is the job's corner selection, with the oblx convention:
+	// nil (marshals "null") selects every corner the deck declares, an
+	// empty slice (marshals "[]") forces nominal-only. The two encode
+	// differently on purpose — an all-corners job and a nominal-only job
+	// of the same deck must never collide. No omitempty for the same
+	// reason.
+	Corners []string `json:"corners"`
 }
 
 // Key computes the content address of a job: hex SHA-256 over a

@@ -74,6 +74,85 @@ func TestKeyDeterminism(t *testing.T) {
 	}
 }
 
+// TestKeyCornerSensitivity: the corner-selection dimension of a job
+// must be part of the key. A cornered job's worst-case result and the
+// nominal result of the same deck are different answers; serving one
+// for the other would be a silent correctness bug, not a cache win.
+func TestKeyCornerSensitivity(t *testing.T) {
+	deck := ".var W1 min=2u max=500u grid\n.const Cl 1p\n"
+	cornered := deck + ".corner slow temp=85\n"
+	canon, err := netlist.Canonical(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := KeyOptions{Seed: 1, MaxMoves: 5000, Runs: 1}
+
+	// All-corners (nil) and nominal-only (empty non-nil) are different
+	// jobs: nil means "robust over every corner the deck declares".
+	nom := base
+	nom.Corners = []string{}
+	if Key(canon, base) == Key(canon, nom) {
+		t.Error("all-corners (nil) and nominal-only ([]) jobs share a key")
+	}
+
+	// A named selection differs from both, and from other selections.
+	slow := base
+	slow.Corners = []string{"slow"}
+	both := base
+	both.Corners = []string{"slow", "fast"}
+	keys := map[string]string{
+		"all":     Key(canon, base),
+		"nominal": Key(canon, nom),
+		"slow":    Key(canon, slow),
+		"both":    Key(canon, both),
+	}
+	seen := make(map[string]string, len(keys))
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("corner selections %q and %q collided on key %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+
+	// The corner selection survives the JSON round trip persisted jobs
+	// go through: nil must come back nil, [] must come back [].
+	for _, opts := range []KeyOptions{base, nom, slow} {
+		blob, err := json.Marshal(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back KeyOptions
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if Key(canon, back) != Key(canon, opts) {
+			t.Errorf("corner selection %#v changed key across a JSON round trip (%s)", opts.Corners, blob)
+		}
+	}
+
+	// Adding a .corner card changes the canonical deck, hence the key —
+	// even for a nominal-only run of the cornered deck (the card changes
+	// the deck text; selection is a separate dimension).
+	canonC, err := netlist.Canonical(cornered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Key(canonC, base) == Key(canon, base) {
+		t.Error("adding a .corner card did not change the key")
+	}
+
+	// The remaining solver options each still perturb the key.
+	for name, vary := range map[string]KeyOptions{
+		"max_moves": {Seed: 1, MaxMoves: 6000, Runs: 1},
+		"runs":      {Seed: 1, MaxMoves: 5000, Runs: 2},
+		"no_freeze": {Seed: 1, MaxMoves: 5000, Runs: 1, NoFreeze: true},
+	} {
+		if Key(canon, vary) == Key(canon, base) {
+			t.Errorf("%s did not affect the key", name)
+		}
+	}
+}
+
 func TestParseMode(t *testing.T) {
 	for _, ok := range []string{"off", "ro", "rw"} {
 		if _, err := ParseMode(ok); err != nil {

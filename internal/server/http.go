@@ -242,6 +242,24 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s := q.Get("no_freeze"); s != "" {
 			req.Options.NoFreeze = s == "1" || s == "true"
 		}
+		// Same convention as the oblx -corners flag: absent/"all" →
+		// nil (every declared corner — cornered decks are robust by
+		// default), "none" → empty non-nil (nominal-only), otherwise a
+		// comma-separated name list validated at submit.
+		if s := q.Get("corners"); s != "" {
+			switch strings.ToLower(strings.TrimSpace(s)) {
+			case "all":
+				req.Options.Corners = nil
+			case "none":
+				req.Options.Corners = []string{}
+			default:
+				for _, n := range strings.Split(s, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						req.Options.Corners = append(req.Options.Corners, n)
+					}
+				}
+			}
+		}
 	}
 	if strings.TrimSpace(req.Deck) == "" {
 		writeErr(w, http.StatusBadRequest, "empty deck")

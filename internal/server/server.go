@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"astrx/internal/astrx"
 	"astrx/internal/durable"
 	"astrx/internal/metrics"
 	"astrx/internal/netlist"
@@ -84,6 +85,11 @@ type JobOptions struct {
 	// restart from scratch after a daemon kill instead of resuming.
 	Runs     int  `json:"runs,omitempty"` // 0 → 1
 	NoFreeze bool `json:"no_freeze,omitempty"`
+	// Corners selects the worst-case corner set: nil → every corner the
+	// deck declares, empty → nominal-only, else named .corner cards.
+	// Deliberately not omitempty — nil and [] are different jobs and
+	// must survive a persist/reload round trip.
+	Corners []string `json:"corners"`
 	// ProgressEvery is the move interval between streamed progress
 	// events (0 → the manager default).
 	ProgressEvery int `json:"progress_every,omitempty"`
@@ -654,6 +660,7 @@ func cacheKeyFor(deckSrc string, opt JobOptions) (deckHash, key string, err erro
 	}
 	key = rescache.Key(canon, rescache.KeyOptions{
 		Seed: opt.Seed, MaxMoves: opt.MaxMoves, Runs: opt.Runs, NoFreeze: opt.NoFreeze,
+		Corners: opt.Corners,
 	})
 	return deckHash, key, nil
 }
@@ -695,6 +702,11 @@ func (m *Manager) SubmitAs(deckSrc string, opt JobOptions, requestID, tenant str
 		return nil, &DeckError{Err: err}
 	}
 	if err := d.Validate(); err != nil {
+		return nil, &DeckError{Err: err}
+	}
+	// Corner selection is part of the cost function: reject unknown
+	// names at the door instead of queueing a job doomed to fail.
+	if _, err := astrx.SelectCorners(d, opt.Corners); err != nil {
 		return nil, &DeckError{Err: err}
 	}
 	opt.defaults()
@@ -1036,6 +1048,7 @@ func (m *Manager) runJob(j *Job) {
 		Seed:          j.Options.Seed,
 		MaxMoves:      j.Options.MaxMoves,
 		NoFreeze:      j.Options.NoFreeze,
+		Corners:       j.Options.Corners,
 		ProgressEvery: progEvery,
 		StageTimer:    telem.timer,
 		Progress: func(ev oblx.ProgressEvent) {
@@ -1181,6 +1194,20 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 	if res != nil {
 		if n := res.Failures.Unstable; n > 0 {
 			m.mUnstable.Add(int64(n))
+		}
+		for name, cf := range res.Failures.Corners {
+			if cf.Fails > 0 {
+				m.reg.Counter("oblxd_corner_eval_failures_total", "corner", name).Add(int64(cf.Fails))
+				m.reg.SetHelp("oblxd_corner_eval_failures_total", "per-corner evaluation failures in worst-case runs (post-retry)")
+			}
+			if cf.Quarantined {
+				m.jlog(j).Warn("corner quarantined for the rest of the run",
+					"corner", name, "fails", cf.Fails, "retries", cf.Retries)
+			}
+		}
+		if res.Degraded {
+			m.reg.Counter("oblxd_jobs_degraded_total").Inc()
+			m.reg.SetHelp("oblxd_jobs_degraded_total", "worst-case jobs that finished with at least one corner quarantined")
 		}
 		if res.CheckpointErr != nil {
 			m.jlog(j).Warn("checkpoint writes failed", "err", res.CheckpointErr)

@@ -511,3 +511,56 @@ func TestProfilingEndpointGated(t *testing.T) {
 		t.Errorf("metrics with profiling off: status %d, want 200", code)
 	}
 }
+
+// TestSubmitCorneredPlainText: the curl-friendly corner surface — raw
+// deck with .corner cards, selection in the corners= query parameter.
+// The finished result must carry the per-corner breakdown, and an
+// unknown corner name must be rejected at the door.
+func TestSubmitCorneredPlainText(t *testing.T) {
+	deck := testDeck + "\n.corner slow vdd=2.4\n.corner fast vdd=2.6\n"
+	m := newTestManager(t, Options{})
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs?seed=1&max_moves=3000&corners=slow", "text/plain", strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cornered submit: status %d", resp.StatusCode)
+	}
+	if len(st.Options.Corners) != 1 || st.Options.Corners[0] != "slow" {
+		t.Fatalf("corners not picked up from query: %+v", st.Options.Corners)
+	}
+	j := m.Get(st.ID)
+	if j == nil {
+		t.Fatal("submitted job not found")
+	}
+	waitState(t, j, StateDone, 2*time.Minute)
+	res := j.Result()
+	if res == nil || res.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	corners := res.Result.Corners
+	if len(corners) != 2 { // nominal + slow
+		t.Fatalf("per-corner breakdown has %d lanes, want 2: %+v", len(corners), corners)
+	}
+	if corners[0].Name != "nominal" || corners[1].Name != "slow" {
+		t.Errorf("lane names %q/%q, want nominal/slow", corners[0].Name, corners[1].Name)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/jobs?corners=bogus", "text/plain", strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown corner: status %d, want 400", resp.StatusCode)
+	}
+}

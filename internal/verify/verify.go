@@ -72,6 +72,12 @@ func (r *Report) Spec(name string) *SpecResult {
 // vector (user variables + relaxed-dc node voltages); predicted are
 // OBLX's spec values at that point.
 func Design(c *astrx.Compiled, x []float64, predicted map[string]float64) (*Report, error) {
+	// A worst-case (cornered) run hands back the master vector
+	// [user vars][nominal nodes][corner nodes...]; verification targets
+	// the nominal lane, which is exactly this plan's variable prefix.
+	if n := len(c.Vars()); len(x) > n {
+		x = x[:n]
+	}
 	// 1. Reference bias: full Newton from OBLX's node voltages.
 	dp := c.DCProblem(x)
 	xref := append([]float64(nil), x...)
