@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: ci vet build test race chaos fleet-chaos tenancy-chaos corner-chaos lint bench-json bench-check telemetry-guard
+.PHONY: ci vet build test race chaos fleet-chaos tenancy-chaos corner-chaos trace-chaos lint bench-json bench-check telemetry-guard
 
 # bench-check is a required gate: the sparse eval plans bought a large
 # ns/eval margin over the committed baseline, so the 15% regression
@@ -15,7 +15,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 # (the tools need network access to download on first run).
 # telemetry-guard also gates: its allocs/eval comparison is
 # deterministic, unlike timings.
-ci: vet build test race fleet-chaos tenancy-chaos corner-chaos telemetry-guard bench-check
+ci: vet build test race fleet-chaos tenancy-chaos corner-chaos trace-chaos telemetry-guard bench-check
 	-$(MAKE) lint
 
 vet:
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/fleet ./internal/metrics ./internal/telemetry ./internal/tenancy ./internal/rescache
+	$(GO) test -race ./internal/anneal ./internal/oblx ./internal/faults ./internal/server ./internal/fleet ./internal/metrics ./internal/telemetry ./internal/tenancy ./internal/rescache ./internal/trace
 
 # chaos runs the fault-injection suites under the race detector: durable
 # envelope/atomic-write tests, the injector itself (filesystem and
@@ -56,6 +56,16 @@ tenancy-chaos:
 # poisoning — the exactly-once acceptance suite for distributed mode.
 fleet-chaos:
 	$(GO) test -race -count=1 ./internal/fleet
+
+# trace-chaos runs the distributed-tracing acceptance drills under the
+# race detector: a job submitted with a client traceparent, killed on
+# one worker mid-anneal, and resumed on another must serve one span
+# tree under the original trace ID with a resume event on the second
+# attempt — plus the propagation table (claim handoff, span shipping,
+# fencing) and the single-daemon trace lifecycle and snapshot fallback.
+trace-chaos:
+	$(GO) test -race -count=1 -run 'TestFleetTraceKillResume|TestFleetTraceparentPropagation' ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestTraceEndpointLifecycle|TestTraceConcurrentSnapshot|TestTraceLegacyJob409|TestTraceparentRequestID' ./internal/server
 
 # corner-chaos runs the worst-case-over-corners robustness drills under
 # the race detector: a multi-corner anneal must meet the specs at every
@@ -102,10 +112,12 @@ bench-check:
 # catastrophic case, e.g. sampling accidentally enabled by default.
 # The second step pins the batched K-candidate evaluator and the sparse
 # single-candidate workspace to zero allocations via their dedicated
-# alloc-count tests (testing.AllocsPerRun is exact and timing-free).
+# alloc-count tests (testing.AllocsPerRun is exact and timing-free),
+# and proves tracing compiled in but disabled (nil recorder) adds zero
+# allocations to the eval hot path.
 telemetry-guard:
 	@tmp=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench Table2Eval -benchmem -benchtime 100x . > $$tmp && \
 	$(GO) run ./cmd/benchjson -filter Table2Eval -check BENCH_oblx.json -max-regress 2.0 < $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
-	$(GO) test -run 'TestBatchZeroAlloc|TestWorkspaceZeroAlloc' -count=1 ./internal/bench
+	$(GO) test -run 'TestBatchZeroAlloc|TestWorkspaceZeroAlloc|TestTraceOffZeroAlloc' -count=1 ./internal/bench

@@ -32,6 +32,7 @@ import (
 	"astrx/internal/netlist"
 	"astrx/internal/oblx"
 	"astrx/internal/telemetry"
+	"astrx/internal/trace"
 	"astrx/internal/verify"
 )
 
@@ -106,6 +107,7 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print a run-metrics summary (Prometheus text format) at exit")
 	traceOut := flag.String("trace-out", "", "write a flight-recorder trace (one JSON move record per line) to this file")
 	traceEvery := flag.Int("trace-every", 100, "moves between trace records (with -trace-out)")
+	traceSpans := flag.String("trace-spans", "", "write the run's distributed-trace spans (JSONL: snapshot header + one span per line) to this file")
 	stageSample := flag.Int("stage-sample", 0, "sample 1 in N evaluations for per-stage timing, printed at exit (0: off)")
 	hashOnly := flag.Bool("hash", false, "print the deck's canonical content hash (the oblxd result-cache key input) and exit")
 	flag.Parse()
@@ -186,6 +188,24 @@ func main() {
 		timer = telemetry.NewEvalTimer(*stageSample)
 		opt.StageTimer = timer
 	}
+	// -trace-spans records the run as one span tree — the same spans
+	// oblxd serves at GET /v1/jobs/{id}/trace, produced offline. Eval
+	// spans ride on the -stage-sample cadence; without it the trace
+	// holds the lifecycle spans (root, anneal, corners) only.
+	var spanRec *trace.Recorder
+	var rootSpan *trace.Active
+	if *traceSpans != "" {
+		tid := trace.TraceIDFromRequest("")
+		spanRec = trace.NewRecorder(trace.Context{TraceID: tid, SpanID: trace.RootSpanID(tid)}, *moves)
+		opt.Trace = spanRec
+		rootSpan = spanRec.BeginRoot("oblx", "")
+		rootSpan.SetAttr("deck", title)
+		if timer != nil {
+			timer.OnSample(func(s telemetry.Stage, d time.Duration) {
+				spanRec.RecordEval(s.String(), d)
+			})
+		}
+	}
 	var flight *telemetry.FlightRecorder
 	if *traceOut != "" {
 		// Record every progress event into an unbounded-enough ring; the
@@ -220,13 +240,19 @@ func main() {
 	}
 
 	// The trace is most valuable when the run dies, so it is written on
-	// the error exits too, not just after a clean finish.
-	dumpTrace := func() {
-		if flight == nil {
-			return
+	// the error exits too, not just after a clean finish. The span dump
+	// follows the same rule: end the root with the outcome, then write.
+	dumpTrace := func(status string) {
+		if flight != nil {
+			if err := writeTrace(*traceOut, flight); err != nil {
+				fmt.Fprintln(os.Stderr, "oblx: warning:", err)
+			}
 		}
-		if err := writeTrace(*traceOut, flight); err != nil {
-			fmt.Fprintln(os.Stderr, "oblx: warning:", err)
+		if spanRec != nil {
+			rootSpan.End(status)
+			if err := writeSpans(*traceSpans, title, status, spanRec); err != nil {
+				fmt.Fprintln(os.Stderr, "oblx: warning:", err)
+			}
 		}
 	}
 
@@ -234,7 +260,7 @@ func main() {
 	if *runs <= 1 {
 		best, err = oblx.Run(ctx, deck, opt)
 		if err != nil {
-			dumpTrace()
+			dumpTrace("error")
 			fmt.Fprintln(os.Stderr, "oblx:", err)
 			os.Exit(1)
 		}
@@ -247,12 +273,17 @@ func main() {
 			}
 		}
 		if best == nil {
-			dumpTrace()
+			dumpTrace("error")
 			fmt.Fprintln(os.Stderr, "oblx: all runs failed")
 			os.Exit(1)
 		}
 	}
-	dumpTrace()
+	switch {
+	case best.Cancelled:
+		dumpTrace("cancelled")
+	default:
+		dumpTrace("ok")
+	}
 
 	fmt.Printf("OBLX synthesis of %s (seed %d, %d moves", title, best.Seed, best.Moves)
 	if best.Froze {
@@ -355,6 +386,28 @@ func writeTrace(path string, flight *telemetry.FlightRecorder) error {
 		return fmt.Errorf("trace: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "oblx: wrote %d trace records to %s\n", len(recs), path)
+	return nil
+}
+
+// writeSpans dumps the recorder's span tree to path in the same JSONL
+// snapshot format oblxd seals to its state dir (header line, then one
+// span per line).
+func writeSpans(path, label, cause string, rec *trace.Recorder) error {
+	spans := rec.Snapshot()
+	data, err := trace.EncodeSnapshot(trace.SnapshotHeader{
+		TraceID: rec.TraceID(),
+		Label:   label,
+		Cause:   cause,
+		Time:    time.Now(),
+		Dropped: rec.Dropped(),
+	}, spans)
+	if err != nil {
+		return fmt.Errorf("trace spans: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trace spans: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "oblx: wrote %d trace spans to %s\n", len(spans), path)
 	return nil
 }
 

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"astrx/internal/trace"
+)
+
+// TestTraceOffZeroAlloc pins the tracing-off guarantee: with tracing
+// compiled in but disabled (nil *trace.Recorder, nil *trace.Active —
+// exactly what the annealer and corner lanes hold when Options.Trace is
+// unset), one cost evaluation wrapped in every nil-receiver trace call
+// the hot path makes still performs zero heap allocations. This is the
+// telemetry-guard companion to TestWorkspaceZeroAlloc: that test proves
+// the eval core is alloc-free, this one proves the trace
+// instrumentation adds nothing when off.
+func TestTraceOffZeroAlloc(t *testing.T) {
+	c, err := Compile(SimpleOTA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := evalSequence(c, 0)[0]
+	ws := c.NewWorkspace()
+	ws.Cost(x) // warm up lazy scratch
+
+	var rec *trace.Recorder // tracing off
+	allocs := testing.AllocsPerRun(20, func() {
+		// The span shapes the instrumented pipeline emits around an
+		// eval: an anneal-scoped Active, a sampled per-stage eval span,
+		// and corner-lane events — all no-ops on nil receivers.
+		span := rec.Begin("anneal", "")
+		rec.SetEvalParent(span.ID())
+		ws.Cost(x)
+		rec.RecordEval("eval", time.Microsecond)
+		span.SetAttr("moves", "1")
+		span.Event("corner-retry", "corner", "ss_cold")
+		span.End("ok")
+		rec.AddTimed("corner:tt", "", time.Now(), time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Errorf("eval with tracing off allocates %.1f/eval, want 0", allocs)
+	}
+}

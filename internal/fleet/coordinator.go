@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -230,6 +231,7 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	c.noteWorker(req.Worker)
 
+	claimStart := time.Now()
 	cr := c.claimPending(req.Worker)
 	if cr == nil {
 		cr = c.claimFresh(req.Worker)
@@ -237,6 +239,14 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	if cr == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
+	}
+	// Record the claim span outside c.mu: completing a span feeds the
+	// span-duration histogram, and the registry's exposition path takes
+	// c.mu through the worker-state gauges.
+	if j := c.mgr.Get(cr.JobID); j != nil {
+		j.Trace().AddTimed("claim", "", claimStart, time.Since(claimStart),
+			"worker", req.Worker, "run", strconv.Itoa(cr.Run),
+			"epoch", strconv.FormatUint(cr.Epoch, 10))
 	}
 	c.rlog(r, cr.JobID, cr.Run, req.Worker).Info("lease granted",
 		"epoch", cr.Epoch, "seed", cr.Options.Seed, "resume", len(cr.Checkpoint) > 0)
@@ -310,6 +320,7 @@ func (c *Coordinator) claimResponseLocked(l *lease) *ClaimResponse {
 		LeaseTTL:       c.opt.LeaseTTL,
 		HeartbeatEvery: c.opt.HeartbeatEvery,
 		RequestID:      j.RequestID(),
+		Traceparent:    j.TraceContext(),
 	}
 	if l.multi == nil {
 		// Checkpoint/resume is a single-run feature, exactly as in the
@@ -364,6 +375,11 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 
 	c.mHB["ok"].Inc()
+	if len(hb.Spans) > 0 {
+		// The fencing check above passed, so these spans come from the
+		// live leaseholder, not a zombie.
+		c.mgr.AddTraceSpans(job, hb.Spans)
+	}
 	if hb.Progress != nil {
 		ev := *hb.Progress
 		ev.Run = hb.Run
@@ -454,6 +470,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		}
 		final := c.finalizeMultiLocked(mj)
 		c.mu.Unlock()
+		if len(req.Spans) > 0 {
+			c.mgr.AddTraceSpans(job, req.Spans)
+		}
 		if final != nil {
 			if err := c.mgr.CompleteExternal(job, final); err != nil {
 				lg.Warn("multi-start completion rejected by manager", "err", err)
@@ -466,6 +485,11 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 
+	// Ingest the run's final spans before the terminal commit seals the
+	// trace snapshot.
+	if len(req.Spans) > 0 {
+		c.mgr.AddTraceSpans(job, req.Spans)
+	}
 	if err := c.mgr.CompleteExternal(job, req.Result); err != nil {
 		c.mFenced.Inc()
 		lg.Warn("late commit rejected by manager", "err", err)
@@ -539,6 +563,9 @@ func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 
+	if len(req.Spans) > 0 {
+		c.mgr.AddTraceSpans(job, req.Spans)
+	}
 	if mj == nil {
 		c.mgr.ReleaseExternal(job)
 	}

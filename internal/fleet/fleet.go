@@ -36,6 +36,7 @@ import (
 
 	"astrx/internal/oblx"
 	"astrx/internal/server"
+	"astrx/internal/trace"
 )
 
 // Fleet protocol endpoints, all POST, mounted by Coordinator.Handler:
@@ -82,6 +83,11 @@ type ClaimResponse struct {
 	// RequestID is the job's correlation ID, threaded through worker log
 	// lines and echoed back on fleet calls.
 	RequestID string `json:"request_id,omitempty"`
+	// Traceparent is the job's W3C trace context (trace ID + the job
+	// root span ID). The worker's anneal and eval spans join this trace
+	// and parent under the root, so one trace spans the fleet hop — and
+	// a re-lease after a worker death keeps extending the same tree.
+	Traceparent string `json:"traceparent,omitempty"`
 	// BestCost is the best cost a sibling run has reported so far
 	// (multi-start jobs only).
 	BestCost *float64 `json:"best_cost,omitempty"`
@@ -95,6 +101,11 @@ type HeartbeatRequest struct {
 	Run      int                 `json:"run"`
 	Epoch    uint64              `json:"epoch"`
 	Progress *oblx.ProgressEvent `json:"progress,omitempty"`
+	// Spans are trace spans completed on the worker since the last
+	// heartbeat, shipped home so the coordinator's trace tree stays the
+	// single source of truth. Ingested only when the fencing check
+	// passes.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a lease renewal.
@@ -124,6 +135,9 @@ type CompleteRequest struct {
 	Run    int               `json:"run"`
 	Epoch  uint64            `json:"epoch"`
 	Result *server.JobResult `json:"result"`
+	// Spans are the final trace spans of the run (the anneal span and
+	// any evals since the last heartbeat).
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // ReleaseRequest hands a lease back without a result — the graceful
@@ -133,6 +147,9 @@ type ReleaseRequest struct {
 	Worker string `json:"worker"`
 	Run    int    `json:"run"`
 	Epoch  uint64 `json:"epoch"`
+	// Spans are trace spans completed since the last heartbeat, so a
+	// graceful drain loses no tracing either.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // apiError is the JSON error body of fleet endpoints.

@@ -17,6 +17,7 @@ import (
 	"astrx/internal/retry"
 	"astrx/internal/server"
 	"astrx/internal/telemetry"
+	"astrx/internal/trace"
 
 	"log/slog"
 )
@@ -131,11 +132,23 @@ func (w *Worker) runLease(ctx context.Context, cr *ClaimResponse) {
 	if cr.RequestID != "" {
 		lg = lg.With("req", cr.RequestID)
 	}
+	// Join the job's distributed trace: the claim's traceparent carries
+	// the trace ID and the coordinator-side root span ID, so spans
+	// recorded here parent under the same root as every other
+	// incarnation of this job. Shipping mode buffers completed spans for
+	// the heartbeat/complete drain; a malformed or absent traceparent
+	// leaves rec nil and every trace call a no-op.
+	var rec *trace.Recorder
+	if tc, terr := trace.Parse(cr.Traceparent); terr == nil {
+		rec = trace.NewRecorder(tc, 0)
+		rec.EnableShipping()
+		lg = lg.With("trace", tc.TraceID)
+	}
 	lg.Info("lease claimed", "seed", cr.Options.Seed)
 
 	deck, err := netlist.Parse(cr.Deck)
 	if err != nil {
-		w.complete(ctx, cr, server.BuildJobResult(cr.JobID, nil, fmt.Errorf("fleet: reparse deck: %w", err)), lg)
+		w.complete(ctx, cr, rec, server.BuildJobResult(cr.JobID, nil, fmt.Errorf("fleet: reparse deck: %w", err)), lg)
 		return
 	}
 
@@ -150,6 +163,7 @@ func (w *Worker) runLease(ctx context.Context, cr *ClaimResponse) {
 		MaxMoves:      cr.Options.MaxMoves,
 		NoFreeze:      cr.Options.NoFreeze,
 		ProgressEvery: cr.Options.ProgressEvery,
+		Trace:         rec,
 		Progress: func(ev oblx.ProgressEvent) {
 			ev.Run = cr.Run
 			progMu.Lock()
@@ -207,7 +221,8 @@ beat:
 			progMu.Unlock()
 			var resp HeartbeatResponse
 			status, err := w.postJSON(ctx, "/v1/fleet/jobs/"+cr.JobID+"/heartbeat",
-				HeartbeatRequest{Worker: w.opt.ID, Run: cr.Run, Epoch: cr.Epoch, Progress: prog},
+				HeartbeatRequest{Worker: w.opt.ID, Run: cr.Run, Epoch: cr.Epoch, Progress: prog,
+					Spans: rec.DrainNew()},
 				&resp, cr.RequestID)
 			switch {
 			case err != nil:
@@ -240,7 +255,8 @@ beat:
 		defer stop()
 		w.maybeShipCheckpoint(drainCtx, cr, opt.CheckpointPath, &lastShipped, lg)
 		status, err := w.postJSON(drainCtx, "/v1/fleet/jobs/"+cr.JobID+"/release",
-			ReleaseRequest{Worker: w.opt.ID, Run: cr.Run, Epoch: cr.Epoch}, nil, cr.RequestID)
+			ReleaseRequest{Worker: w.opt.ID, Run: cr.Run, Epoch: cr.Epoch,
+				Spans: rec.DrainNew()}, nil, cr.RequestID)
 		if err != nil || status >= 300 {
 			lg.Warn("release failed", "status", status, "err", err)
 		} else {
@@ -248,7 +264,7 @@ beat:
 		}
 		return
 	}
-	w.complete(ctx, cr, server.BuildJobResult(cr.JobID, out.res, out.err), lg)
+	w.complete(ctx, cr, rec, server.BuildJobResult(cr.JobID, out.res, out.err), lg)
 }
 
 // maybeShipCheckpoint posts the worker's latest local checkpoint to the
@@ -280,17 +296,21 @@ func (w *Worker) maybeShipCheckpoint(ctx context.Context, cr *ClaimResponse, pat
 // complete commits the run's terminal result, retrying transient
 // failures. A 409 is final: the lease was fenced while we annealed and
 // the result must be dropped, never committed over the successor's.
-func (w *Worker) complete(ctx context.Context, cr *ClaimResponse, result *server.JobResult, lg *slog.Logger) {
+func (w *Worker) complete(ctx context.Context, cr *ClaimResponse, rec *trace.Recorder, result *server.JobResult, lg *slog.Logger) {
 	if w.killed.Load() {
 		return
 	}
 	// Completion must survive the drain cancellation of ctx.
 	cctx, stop := context.WithTimeout(context.Background(), 10*time.Second)
 	defer stop()
+	// Drain once, outside the retry loop, so a retried POST carries the
+	// same final spans instead of an empty second drain.
+	spans := rec.DrainNew()
 	pol := retry.Policy{Base: 50 * time.Millisecond, Multiplier: 2, Max: time.Second, MaxAttempts: 5}
 	err := retry.Do(cctx, pol, func(ctx context.Context) error {
 		status, err := w.postJSON(ctx, "/v1/fleet/jobs/"+cr.JobID+"/complete",
-			CompleteRequest{Worker: w.opt.ID, Run: cr.Run, Epoch: cr.Epoch, Result: result},
+			CompleteRequest{Worker: w.opt.ID, Run: cr.Run, Epoch: cr.Epoch, Result: result,
+				Spans: spans},
 			nil, cr.RequestID)
 		if err != nil {
 			return err

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"astrx/internal/anneal"
 	"astrx/internal/astrx"
 	"astrx/internal/dcsolve"
 	"astrx/internal/faults"
+	"astrx/internal/trace"
 )
 
 // cornerQuarantineAfter is the per-corner quarantine threshold: a corner
@@ -44,6 +46,12 @@ type cornerEval struct {
 	xs        [][]float64  // batch argument: bufs[i] or nil (skipped)
 	include   []bool
 	evaluated []bool
+
+	// span is the run's anneal span; lane-state transitions (first
+	// retry, quarantine) are recorded on it as events. Nil-safe, so the
+	// untraced hot path pays nothing — events fire only on the rare
+	// transitions, never per eval.
+	span *trace.Active
 }
 
 func newCornerEval(cs *astrx.CornerSet, inj *faults.Injector) *cornerEval {
@@ -97,6 +105,9 @@ func (ce *cornerEval) eval(x []float64) astrx.CostBreakdown {
 		}
 		if failed {
 			ce.lanes[i].retries++
+			if ce.lanes[i].retries == 1 {
+				ce.span.Event("corner-retry", "corner", name)
+			}
 			failed = ce.inj.CornerFail(name) || ce.bw.RerunLane(i, ce.xs[i]) != nil
 		}
 		if failed {
@@ -104,6 +115,8 @@ func (ce *cornerEval) eval(x []float64) astrx.CostBreakdown {
 			ce.lanes[i].consec++
 			if ce.lanes[i].consec >= cornerQuarantineAfter {
 				ce.lanes[i].quarantined = true
+				ce.span.Event("corner-quarantined",
+					"corner", name, "fails", strconv.Itoa(ce.lanes[i].fails))
 			}
 		} else {
 			ce.lanes[i].consec = 0

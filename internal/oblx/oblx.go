@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"astrx/internal/faults"
 	"astrx/internal/netlist"
 	"astrx/internal/telemetry"
+	"astrx/internal/trace"
 )
 
 // Options tunes a synthesis run.
@@ -90,6 +92,16 @@ type Options struct {
 	// attaches its own clock. A nil timer keeps the hot path
 	// uninstrumented.
 	StageTimer *telemetry.EvalTimer
+
+	// Trace, when non-nil, receives the run's lifecycle spans: one
+	// "anneal" span per Run (with a resume event when restoring from a
+	// checkpoint) and one "corner:<name>" span per lane of a worst-case
+	// run, with quarantine/retry events as they happen. The recorder is
+	// nil-receiver safe, so a nil Trace keeps the hot path at zero
+	// allocations — same contract as StageTimer. RunBest's parallel runs
+	// may share one recorder (it is concurrency-safe); sampled eval
+	// spans then attach to whichever run's anneal span registered last.
+	Trace *trace.Recorder
 }
 
 func (o *Options) defaults() {
@@ -141,6 +153,11 @@ type ProgressEvent struct {
 	// bad" units (positive ⇒ failing). Empty when nothing measured.
 	WorstSpec  string  `json:"worst_spec,omitempty"`
 	WorstSpecU float64 `json:"worst_spec_u,omitempty"`
+
+	// SpanID is the anneal span this event occurred under (empty when
+	// tracing is off) — the exemplar link from a flight-recorder record
+	// back into the job's span tree.
+	SpanID string `json:"span_id,omitempty"`
 }
 
 // FlightRecord projects the event into the telemetry package's
@@ -163,6 +180,7 @@ func (ev ProgressEvent) FlightRecord() telemetry.MoveRecord {
 		WorstSpec:   ev.WorstSpec,
 		WorstSpecU:  ev.WorstSpecU,
 		Evals:       int64(ev.Evals),
+		SpanID:      ev.SpanID,
 	}
 }
 
@@ -439,6 +457,16 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 		}
 	}
 
+	// The anneal span covers this incarnation of the run. Errors below
+	// (bad checkpoint, anneal failure) end it with status "error"; the
+	// deferred End is a no-op once the span ended normally.
+	asp := opt.Trace.Begin("anneal", "")
+	defer asp.End("error")
+	opt.Trace.SetEvalParent(asp.ID())
+	if ce != nil {
+		ce.span = asp
+	}
+
 	// The generic perturbation classes explore the scalar prefix only:
 	// user variables plus the nominal node section. In a cornered run
 	// the corner node sections are relaxation state that tracks each
@@ -491,7 +519,12 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 			c.Workspace().SetUnstableCount(ck.Unstable)
 		}
 		baseDur = time.Duration(ck.ElapsedNS)
+		asp.Event("resume",
+			"move", strconv.Itoa(ck.Anneal.Move),
+			"evals", strconv.Itoa(ck.Evals))
 	}
+	asp.SetAttr("seed", strconv.FormatInt(opt.Seed, 10))
+	asp.SetAttr("max_moves", strconv.Itoa(opt.MaxMoves))
 
 	var trace []TraceSample
 	weightFreeze := opt.MaxMoves / 4
@@ -547,6 +580,7 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 				ev.SpecVals = finiteSpecVals(st.SpecVals)
 				ev.WorstSpec, ev.WorstSpecU = worstSpec(c, st)
 			}
+			ev.SpanID = asp.ID()
 			opt.Progress(ev)
 		}
 	}
@@ -649,6 +683,30 @@ func Run(ctx context.Context, deck *netlist.Deck, opt Options) (*Result, error) 
 		out.Degraded = ce.degraded()
 		out.Corners = ce.cornerResults(laneDC)
 	}
+
+	// Per-corner lane spans: lanes run in lockstep with the anneal, so
+	// each span covers this incarnation's wall time and carries the
+	// lane's verdict; the live quarantine/retry events landed on the
+	// anneal span as they happened.
+	for _, cr := range out.Corners {
+		opt.Trace.AddTimed("corner:"+cr.Name, asp.ID(), start, time.Since(start),
+			"evaluated", strconv.FormatBool(cr.Evaluated),
+			"dc_solved", strconv.FormatBool(cr.DCSolved),
+			"all_met", strconv.FormatBool(cr.AllMet),
+			"quarantined", strconv.FormatBool(cr.Quarantined),
+			"fails", strconv.Itoa(cr.Fails),
+			"retries", strconv.Itoa(cr.Retries))
+	}
+	asp.SetAttr("moves", strconv.Itoa(res.Moves))
+	asp.SetAttr("evals", strconv.Itoa(p.evals))
+	if out.Degraded {
+		asp.SetAttr("degraded", "true")
+	}
+	status := "ok"
+	if res.Cancelled {
+		status = "cancelled"
+	}
+	asp.End(status)
 	return out, nil
 }
 

@@ -62,6 +62,7 @@ func (m *Manager) ClaimQueued() *Job {
 		if err := m.persist(j); err != nil {
 			m.jlog(j).Error("persist failed", "err", err)
 		}
+		m.noteClaimed(j)
 		m.jlog(j).Info("job running", "state", StateRunning, "attempt", attempt)
 		return j
 	}
@@ -146,6 +147,7 @@ func (m *Manager) CompleteExternal(j *Job, result *JobResult) error {
 		m.jlog(j).Error("persist failed", "err", err)
 	}
 	m.cacheStore(j, state, result)
+	m.endJobTrace(j, traceStatus(state), string(state))
 	if result.Error != "" {
 		m.jlog(j).Warn("job finished", "state", state, "err", result.Error)
 	} else {
@@ -204,6 +206,7 @@ func (m *Manager) ReleaseExternal(j *Job) {
 	if err := m.persist(j); err != nil {
 		m.jlog(j).Error("persist failed", "err", err)
 	}
+	m.markQueued(j)
 	m.mu.Lock()
 	m.running--
 	m.sched.DoneRunning(j.Tenant)

@@ -11,6 +11,8 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+
+	"astrx/internal/trace"
 )
 
 // tenantCtxKey carries the authenticated tenant name through a
@@ -109,27 +111,17 @@ func withRequestID(h http.Handler) http.Handler {
 }
 
 // traceparentID extracts the 32-hex-digit trace ID from a W3C
-// traceparent header ("00-<trace-id>-<parent-id>-<flags>"), returning ""
-// for anything malformed or the all-zero (invalid) trace ID.
+// traceparent header, returning "" for anything malformed. Validation
+// is trace.Parse — the earlier hand-rolled check here accepted headers
+// with the forbidden version "ff", a non-hex version or parent ID, an
+// all-zero parent ID, and non-hex flags, which then leaked into request
+// IDs and job logs as if they were real upstream traces.
 func traceparentID(tp string) string {
-	parts := strings.Split(tp, "-")
-	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+	tc, err := trace.Parse(tp)
+	if err != nil {
 		return ""
 	}
-	zero := true
-	for _, c := range parts[1] {
-		switch {
-		case c >= '1' && c <= '9' || c >= 'a' && c <= 'f':
-			zero = false
-		case c == '0':
-		default:
-			return "" // not lowercase hex
-		}
-	}
-	if zero {
-		return ""
-	}
-	return parts[1]
+	return tc.TraceID
 }
 
 // Handler returns the service's HTTP API:
@@ -141,6 +133,7 @@ func traceparentID(tp string) string {
 //	GET    /v1/jobs/{id}/result final design + verification numbers (409 until terminal)
 //	GET    /v1/jobs/{id}/telemetry       stage-timing breakdown + flight-recorder summary
 //	GET    /v1/jobs/{id}/telemetry/moves flight-recorder ring as JSONL, oldest first
+//	GET    /v1/jobs/{id}/trace  distributed-trace span tree (live, or the durable snapshot)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	POST   /v1/batches          submit N decks as one batch of child jobs
 //	GET    /v1/batches/{id}     batch roll-up (per-state counts + child statuses)
@@ -162,6 +155,7 @@ func (m *Manager) Handler() http.Handler {
 	api.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
 	api.HandleFunc("GET /v1/jobs/{id}/telemetry", m.handleTelemetry)
 	api.HandleFunc("GET /v1/jobs/{id}/telemetry/moves", m.handleTelemetryMoves)
+	api.HandleFunc("GET /v1/jobs/{id}/trace", m.handleTrace)
 	api.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
 	api.HandleFunc("POST /v1/batches", m.handleBatchSubmit)
 	api.HandleFunc("GET /v1/batches/{id}", m.handleBatchStatus)
@@ -266,7 +260,8 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, err := m.SubmitAs(req.Deck, req.Options, r.Header.Get("X-Request-Id"), tenantFrom(r))
+	j, err := m.SubmitTraced(req.Deck, req.Options, r.Header.Get("X-Request-Id"), tenantFrom(r),
+		r.Header.Get("Traceparent"))
 	if err != nil {
 		m.writeSubmitErr(w, err)
 		return

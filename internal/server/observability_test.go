@@ -289,6 +289,14 @@ func TestTraceparentRequestID(t *testing.T) {
 		{"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", ""}, // uppercase is not valid traceparent
 		{"garbage", ""},
 		{"", ""},
+		// Cases the pre-trace-package extractor wrongly accepted:
+		{"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", ""},       // version ff is forbidden
+		{"zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", ""},       // non-hex version
+		{"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", ""}, // version 00 has exactly 4 fields
+		{"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", ""},       // all-zero parent span ID
+		{"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz", ""},       // non-hex flags
+		// A future version may append fields; the embedded IDs still parse.
+		{"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", "0af7651916cd43dd8448eb211c80319c"},
 	}
 	for _, c := range cases {
 		if got := traceparentID(c.tp); got != c.want {

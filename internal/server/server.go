@@ -41,6 +41,7 @@ import (
 	"astrx/internal/retry"
 	"astrx/internal/telemetry"
 	"astrx/internal/tenancy"
+	"astrx/internal/trace"
 	"astrx/internal/verify"
 )
 
@@ -196,6 +197,15 @@ type Job struct {
 	// correlation. Persisted with the record, so the correlation
 	// survives a daemon restart.
 	requestID string
+	// trace is the job's distributed-trace recorder, created before the
+	// job is published (submit or recovery) and immutable afterwards —
+	// unlocked reads are safe, like requestID. Nil only for terminal
+	// jobs recovered from records that predate tracing.
+	trace *trace.Recorder
+	// traceRemote is the client span the root span is remotely parented
+	// to (from the submit traceparent header; "" when none). Immutable;
+	// persisted so a restart re-opens the root with the same link.
+	traceRemote string
 	// resume holds the checkpoint to continue from, set during recovery.
 	resume *oblx.Checkpoint
 	// extEvals/extTime track per-run eval watermarks for progress events
@@ -212,6 +222,14 @@ type Job struct {
 	// cacheHit marks a job completed instantly from the result cache —
 	// it never consumed a worker or an evaluation.
 	cacheHit bool
+	// rootSpan is the open "job" root span of the distributed trace;
+	// queueSpan covers the current submit/requeue → claim wait and
+	// queuedAt its start. All three are nil/zero outside their window.
+	// Span Begin/End calls happen OUTSIDE j.mu (see trace.go lock note);
+	// j.mu only guards the pointers.
+	rootSpan  *trace.Active
+	queueSpan *trace.Active
+	queuedAt  time.Time
 }
 
 // State returns the job's current lifecycle state.
@@ -385,6 +403,10 @@ type Options struct {
 	// FlightRecords is the per-job flight-recorder ring capacity
 	// (0 → telemetry.DefaultFlightRecords).
 	FlightRecords int
+	// TraceRecords is the per-job sampled-eval span ring capacity for
+	// distributed tracing (0 → trace.DefaultRingCap). Lifecycle spans
+	// (root, queue-wait, anneal, corners) are pinned and never evicted.
+	TraceRecords int
 
 	// MaxQueue bounds the number of jobs waiting for a worker; Submit
 	// returns ErrQueueFull (HTTP 429 + Retry-After) beyond it. 0 → the
@@ -583,6 +605,8 @@ func New(opt Options) (*Manager, error) {
 			"stage", telemetry.Stage(s).String())
 	}
 	reg.SetHelp("oblxd_eval_stage_seconds", "sampled wall time per cost-evaluation pipeline stage")
+	reg.SetHelp("oblxd_span_duration_seconds", "distributed-trace span durations by span name")
+	reg.SetHelp("oblxd_queue_wait_seconds", "submit (or requeue) to claim latency by tenant")
 	reg.Gauge("oblxd_build_info", "version", buildVersion(), "goversion", runtime.Version()).Set(1)
 	reg.SetHelp("oblxd_build_info", "build metadata; value is always 1")
 	reg.GaugeFunc("oblxd_up", func() float64 { return float64(m.start.Unix()) })
@@ -694,6 +718,17 @@ func (m *Manager) ensureTenantMetrics(tenant string) {
 // without consuming a worker or a single evaluation. Empty tenant →
 // the default tenant (open mode).
 func (m *Manager) SubmitAs(deckSrc string, opt JobOptions, requestID, tenant string) (*Job, error) {
+	return m.SubmitTraced(deckSrc, opt, requestID, tenant, "")
+}
+
+// SubmitTraced is SubmitAs continuing the caller's W3C trace: a valid
+// traceparent header makes the client's trace ID the job's trace ID and
+// the client's span the remote parent of the job root span, so the
+// job's whole lifecycle — queue wait, fleet hops, anneal, per-corner
+// evals — hangs off the caller's trace. Absent or malformed, the trace
+// ID derives from the request ID instead.
+func (m *Manager) SubmitTraced(deckSrc string, opt JobOptions, requestID, tenant, traceparent string) (*Job, error) {
+	submitStart := time.Now()
 	if tenant == "" {
 		tenant = tenancy.DefaultTenantName
 	}
@@ -734,6 +769,7 @@ func (m *Manager) SubmitAs(deckSrc string, opt JobOptions, requestID, tenant str
 		requestID: requestID,
 		cacheKey:  cacheKey,
 	}
+	m.initJobTrace(j, traceparent)
 
 	// Cache lookup precedes quota admission: a hit consumes no queue
 	// slot, no worker, and no evaluation budget.
@@ -741,7 +777,14 @@ func (m *Manager) SubmitAs(deckSrc string, opt JobOptions, requestID, tenant str
 		return nil, ErrDraining
 	}
 	if payload, ok := m.cache.Get(cacheKey); ok {
-		return m.completeFromCache(j, payload)
+		jj, cerr := m.completeFromCache(j, payload)
+		if cerr == nil {
+			j.trace.AddTimed("submit", "", submitStart, time.Since(submitStart),
+				"cache_hit", "true")
+			j.rootSpan.SetAttr("cache_hit", "true")
+			m.endJobTrace(j, "ok", "cache-hit")
+		}
+		return jj, cerr
 	}
 
 	j.events = append(j.events, Event{Type: "state", State: StateQueued})
@@ -787,11 +830,13 @@ func (m *Manager) SubmitAs(deckSrc string, opt JobOptions, requestID, tenant str
 		m.jlog(j).Error("persist failed", "err", err)
 	}
 
+	m.markQueued(j)
 	m.mu.Lock()
 	m.sched.Push(tenant, j)
 	m.cond.Signal()
 	m.mu.Unlock()
 
+	j.trace.AddTimed("submit", "", submitStart, time.Since(submitStart))
 	m.mSubmitted.Inc()
 	m.reg.Counter("oblxd_jobs_total", "tenant", tenant).Inc()
 	m.reg.SetHelp("oblxd_jobs_total", "jobs accepted, by tenant")
@@ -846,6 +891,9 @@ func (m *Manager) jlog(j *Job) *slog.Logger {
 	}
 	if j.requestID != "" {
 		lg = lg.With("req", j.requestID)
+	}
+	if tid := j.trace.TraceID(); tid != "" {
+		lg = lg.With("trace", tid)
 	}
 	return lg
 }
@@ -909,6 +957,7 @@ func (m *Manager) Cancel(id string) error {
 		if err := m.persist(j); err != nil {
 			m.jlog(j).Error("persist failed", "err", err)
 		}
+		m.endJobTrace(j, "cancelled", "cancelled")
 	default: // running
 		j.userCancelled = true
 		cancel := j.cancel
@@ -1025,6 +1074,7 @@ func (m *Manager) runJob(j *Job) {
 	if err := m.persist(j); err != nil {
 		m.jlog(j).Error("persist failed", "err", err)
 	}
+	m.noteClaimed(j)
 	m.jlog(j).Info("job running", "state", StateRunning, "attempt", attempt)
 
 	deck, err := netlist.Parse(j.Deck)
@@ -1051,6 +1101,7 @@ func (m *Manager) runJob(j *Job) {
 		Corners:       j.Options.Corners,
 		ProgressEvery: progEvery,
 		StageTimer:    telem.timer,
+		Trace:         j.trace,
 		Progress: func(ev oblx.ProgressEvent) {
 			now := time.Now()
 			telem.flight.Record(ev.FlightRecord())
@@ -1175,6 +1226,10 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 		if err := m.persist(j); err != nil {
 			m.jlog(j).Error("persist failed", "err", err)
 		}
+		// The root span stays open — the next incarnation re-attaches the
+		// same trace context — but the spans so far must survive the
+		// process, so snapshot without ending.
+		m.snapshotTrace(j, "shutdown")
 		m.jlog(j).Info("job checkpointed for restart", "state", StateQueued)
 		return
 	}
@@ -1239,10 +1294,23 @@ func (m *Manager) finishJob(j *Job, res *oblx.Result, err error, deadlineHit boo
 		m.jlog(j).Error("persist failed", "err", err)
 	}
 	m.cacheStore(j, state, result)
+	m.endJobTrace(j, traceStatus(state), string(state))
 	if result.Error != "" {
 		m.jlog(j).Warn("job finished", "state", state, "err", result.Error)
 	} else {
 		m.jlog(j).Info("job finished", "state", state)
+	}
+}
+
+// traceStatus maps a terminal job state onto a span status.
+func traceStatus(s State) string {
+	switch s {
+	case StateDone:
+		return "ok"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return "error"
 	}
 }
 
@@ -1316,8 +1384,10 @@ func BuildJobResult(id string, res *oblx.Result, runErr error) *JobResult {
 func (m *Manager) retryOrPoison(j *Job, cause string) {
 	// Dump the flight recorder first: whatever the annealer was doing in
 	// its last N moves is the evidence the post-mortem needs, and the
-	// next attempt keeps appending to the same ring.
+	// next attempt keeps appending to the same ring. The trace snapshot
+	// rides along for the same reason.
 	m.snapshotFlight(j, cause)
+	m.snapshotTrace(j, cause)
 
 	j.mu.Lock()
 	j.attempts++
@@ -1348,6 +1418,7 @@ func (m *Manager) retryOrPoison(j *Job, cause string) {
 			m.jlog(j).Error("persist failed", "err", err)
 		}
 		m.jlog(j).Error("job poisoned", "state", StatePoisoned, "attempt", attempt, "cause", cause)
+		m.endJobTrace(j, "error", cause)
 		return
 	}
 
@@ -1364,6 +1435,9 @@ func (m *Manager) retryOrPoison(j *Job, cause string) {
 	j.mu.Unlock()
 
 	m.mRetries.Inc()
+	// The backoff is queue time: the next queue-wait span opens now, so
+	// submit→claim latency counts the supervisor's delay too.
+	m.markQueued(j)
 	if err := m.persist(j); err != nil {
 		m.jlog(j).Error("persist failed", "err", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"astrx/internal/durable"
 	"astrx/internal/oblx"
 	"astrx/internal/tenancy"
+	"astrx/internal/trace"
 )
 
 // jobRecord is the on-disk form of a job (job-<id>.json in the state
@@ -51,6 +52,14 @@ type jobRecord struct {
 	// CacheHit marks a job that completed instantly from the result
 	// cache, so the distinction survives a restart.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Traceparent is the job's distributed-trace propagation context
+	// (trace ID + deterministic root span ID), so a restarted daemon
+	// keeps extending the same trace. Optional, like RequestID, so
+	// records from before the field are still valid.
+	Traceparent string `json:"traceparent,omitempty"`
+	// TraceRemoteParent is the client span ID the trace root is
+	// remotely parented to, so the link survives a restart.
+	TraceRemoteParent string `json:"trace_remote_parent,omitempty"`
 }
 
 // jobRecordVersion 3 added the tenancy and result-cache fields; 2 added
@@ -98,6 +107,8 @@ func (m *Manager) persist(j *Job) error {
 		CacheHit:  j.cacheHit,
 	}
 	j.mu.Unlock()
+	rec.Traceparent = j.TraceContext()
+	rec.TraceRemoteParent = j.traceRemote
 
 	data, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
@@ -259,8 +270,19 @@ func (m *Manager) recover() error {
 		}
 		switch rec.State {
 		case StateDone, StateFailed, StateCancelled, StatePoisoned:
+			// No live recorder: GET /trace serves the durable snapshot the
+			// terminal transition sealed (409 for pre-tracing records).
 			j.events = append(j.events, Event{Type: "state", State: rec.State, Error: rec.Error})
 		case StateQueued, StateRunning:
+			// Re-attach the persisted trace context (or derive one for
+			// pre-tracing records) and replay the previous incarnation's
+			// completed spans, so the resumed job stays one trace tree.
+			if tc, terr := trace.Parse(rec.Traceparent); terr == nil {
+				m.attachJobTrace(j, tc, rec.TraceRemoteParent)
+			} else {
+				m.initJobTrace(j, "")
+			}
+			m.seedTraceFromSnapshot(j)
 			j.state = StateQueued
 			j.events = append(j.events, Event{Type: "state", State: StateQueued})
 			ckName := "job-" + rec.ID + ".ckpt"
@@ -306,6 +328,7 @@ func (m *Manager) recover() error {
 	})
 	for _, j := range requeue {
 		m.ensureTenantMetrics(j.Tenant)
+		m.markQueued(j)
 		m.sched.Push(j.Tenant, j)
 		m.tenantQueued[j.Tenant]++
 	}

@@ -43,6 +43,9 @@ func (m *Manager) jobTelem(j *Job) *jobTelemetry {
 		t := telemetry.NewEvalTimer(m.telemetrySampleEvery())
 		t.OnSample(func(s telemetry.Stage, d time.Duration) {
 			m.mStage[s].Observe(d.Seconds())
+			// Each sampled stage timing doubles as an eval span in the
+			// job's trace, parented under the current anneal span.
+			j.trace.RecordEval(s.String(), d)
 		})
 		j.telem = &jobTelemetry{
 			timer:  t,

@@ -37,6 +37,10 @@ type MoveRecord struct {
 	WorstSpec  string  `json:"worst_spec,omitempty"`
 	WorstSpecU float64 `json:"worst_spec_u,omitempty"`
 	Evals      int64   `json:"evals,omitempty"`
+	// SpanID is the anneal span this record occurred under (empty when
+	// tracing is off) — the exemplar link from a flight-recorder record
+	// into the job's distributed trace.
+	SpanID string `json:"span_id,omitempty"`
 }
 
 // FlightRecorder is a fixed-size ring buffer of MoveRecords, safe for

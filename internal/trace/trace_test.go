@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTable(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		tp   string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"future version extra fields", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		{"empty", "", false},
+		{"garbage", "garbage", false},
+		{"three fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", false},
+		{"version 00 extra fields", valid + "-extra", false},
+		{"version ff forbidden", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"uppercase version", "0A-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"short trace id", "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01", false},
+		{"all-zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"non-hex parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902g7-01", false},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", false},
+		{"short flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Parse(tc.tp)
+			if tc.ok != (err == nil) {
+				t.Fatalf("Parse(%q) err=%v, want ok=%v", tc.tp, err, tc.ok)
+			}
+			if tc.ok && (got.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || got.SpanID != "00f067aa0ba902b7") {
+				t.Fatalf("Parse(%q) = %+v", tc.tp, got)
+			}
+		})
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tc := Context{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	back, err := Parse(tc.Traceparent())
+	if err != nil {
+		t.Fatalf("Parse(Traceparent()) failed: %v", err)
+	}
+	if back != tc {
+		t.Fatalf("round trip: got %+v want %+v", back, tc)
+	}
+}
+
+func TestTraceIDFromRequest(t *testing.T) {
+	hexID := strings.Repeat("5a", 16)
+	if got := TraceIDFromRequest(hexID); got != hexID {
+		t.Fatalf("well-formed request ID not used verbatim: %q", got)
+	}
+	h1, h2 := TraceIDFromRequest("job-abc"), TraceIDFromRequest("job-abc")
+	if h1 != h2 {
+		t.Fatalf("hashed trace ID not deterministic: %q vs %q", h1, h2)
+	}
+	if _, err := Parse(Context{TraceID: h1, SpanID: RootSpanID(h1)}.Traceparent()); err != nil {
+		t.Fatalf("derived IDs not W3C-valid: %v", err)
+	}
+	r1, r2 := TraceIDFromRequest(""), TraceIDFromRequest("")
+	if r1 == r2 {
+		t.Fatalf("empty request IDs should get random trace IDs, got %q twice", r1)
+	}
+}
+
+func TestRootSpanIDDeterministic(t *testing.T) {
+	tid := TraceIDFromRequest("some-request")
+	if RootSpanID(tid) != RootSpanID(tid) {
+		t.Fatal("RootSpanID not deterministic")
+	}
+	if RootSpanID(tid) == RootSpanID(tid+"x") {
+		t.Fatal("RootSpanID collision across trace IDs")
+	}
+}
+
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	a := r.Begin("x", "")
+	a.SetAttr("k", "v")
+	a.Event("e", "k", "v")
+	a.End("")
+	a.EndErr(nil)
+	r.BeginRoot("root", "").End("")
+	r.RecordEval("bias", time.Microsecond)
+	r.AddTimed("t", "", time.Now(), 0)
+	r.SetEvalParent("x")
+	r.Add(Span{})
+	r.EnableShipping()
+	r.OnEnd(nil)
+	if r.Snapshot() != nil || r.DrainNew() != nil || r.TraceID() != "" ||
+		r.ParentID() != "" || r.Traceparent() != "" || r.Dropped() != 0 || a.ID() != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestRecorderLifecycleAndTree(t *testing.T) {
+	tid := TraceIDFromRequest("req-1")
+	rec := NewRecorder(Context{TraceID: tid, SpanID: RootSpanID(tid)}, 8)
+	root := rec.BeginRoot("job", "00f067aa0ba902b7")
+	root.SetAttr("job", "j1")
+	anneal := rec.Begin("anneal", "")
+	anneal.Event("resume", "move", "42")
+	rec.SetEvalParent(anneal.ID())
+	for i := 0; i < 20; i++ { // overflow the 8-slot eval ring
+		rec.RecordEval("solve", time.Microsecond)
+	}
+	anneal.End("")
+	root.End("")
+
+	spans := rec.Snapshot()
+	if rec.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", rec.Dropped())
+	}
+	var gotRoot, gotAnneal, evals int
+	for _, sp := range spans {
+		switch sp.Name {
+		case "job":
+			gotRoot++
+			if sp.SpanID != RootSpanID(tid) || sp.Parent != "00f067aa0ba902b7" || sp.Attrs["job"] != "j1" {
+				t.Fatalf("bad root span %+v", sp)
+			}
+		case "anneal":
+			gotAnneal++
+			if sp.Parent != RootSpanID(tid) || len(sp.Events) != 1 || sp.Events[0].Attrs["move"] != "42" {
+				t.Fatalf("bad anneal span %+v", sp)
+			}
+		case "eval:solve":
+			evals++
+			if sp.Parent != anneal.ID() {
+				t.Fatalf("eval span parented to %q, want anneal %q", sp.Parent, anneal.ID())
+			}
+		}
+	}
+	if gotRoot != 1 || gotAnneal != 1 || evals != 8 {
+		t.Fatalf("spans: root=%d anneal=%d evals=%d", gotRoot, gotAnneal, evals)
+	}
+
+	tree := Tree(spans)
+	if len(tree) != 1 || tree[0].Name != "job" {
+		t.Fatalf("want single job root, got %d roots", len(tree))
+	}
+	if len(tree[0].Children) != 1 || tree[0].Children[0].Name != "anneal" {
+		t.Fatalf("want anneal under root, got %+v", tree[0].Children)
+	}
+	if len(tree[0].Children[0].Children) != 8 {
+		t.Fatalf("want 8 eval children, got %d", len(tree[0].Children[0].Children))
+	}
+}
+
+func TestOpenSpansInSnapshot(t *testing.T) {
+	tid := TraceIDFromRequest("req-open")
+	rec := NewRecorder(Context{TraceID: tid, SpanID: RootSpanID(tid)}, 0)
+	root := rec.BeginRoot("job", "")
+	spans := rec.Snapshot()
+	if len(spans) != 1 || !spans[0].Open || spans[0].Parent != "" {
+		t.Fatalf("open root not materialized: %+v", spans)
+	}
+	root.End("")
+	root.End("") // double-end is a no-op
+	spans = rec.Snapshot()
+	if len(spans) != 1 || spans[0].Open || spans[0].Status != "ok" {
+		t.Fatalf("ended root wrong: %+v", spans)
+	}
+}
+
+func TestShippingDrainAndAdd(t *testing.T) {
+	tid := TraceIDFromRequest("req-ship")
+	worker := NewRecorder(Context{TraceID: tid, SpanID: RootSpanID(tid)}, 0)
+	worker.EnableShipping()
+	sp := worker.Begin("anneal", "")
+	worker.RecordEval("fit", time.Millisecond)
+	sp.End("")
+
+	batch := worker.DrainNew()
+	if len(batch) != 2 {
+		t.Fatalf("DrainNew = %d spans, want 2", len(batch))
+	}
+	if got := worker.DrainNew(); got != nil {
+		t.Fatalf("second drain should be empty, got %d", len(got))
+	}
+
+	var ends []string
+	coord := NewRecorder(Context{TraceID: tid, SpanID: RootSpanID(tid)}, 0)
+	coord.OnEnd(func(name string, d time.Duration) { ends = append(ends, name) })
+	for _, s := range batch {
+		coord.Add(s)
+	}
+	coord.Add(Span{TraceID: "feedfeedfeedfeedfeedfeedfeedfeed", SpanID: "aaaaaaaaaaaaaaaa", Name: "stray"})
+	got := coord.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("coordinator has %d spans, want 2 (stray trace dropped)", len(got))
+	}
+	if len(ends) != 2 {
+		t.Fatalf("OnEnd fired %d times, want 2", len(ends))
+	}
+}
+
+func TestSnapshotEncodeDecode(t *testing.T) {
+	tid := TraceIDFromRequest("req-snap")
+	rec := NewRecorder(Context{TraceID: tid, SpanID: RootSpanID(tid)}, 0)
+	rec.BeginRoot("job", "").End("")
+	rec.AddTimed("queue-wait", "", time.Now(), 5*time.Millisecond, "tenant", "acme")
+
+	data, err := EncodeSnapshot(SnapshotHeader{TraceID: tid, Label: "job-1", Cause: "done"}, rec.Snapshot())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	hdr, spans, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if hdr.Version != SnapshotVersion || hdr.TraceID != tid || hdr.Label != "job-1" {
+		t.Fatalf("bad header %+v", hdr)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("decoded %d spans, want 2", len(spans))
+	}
+	found := false
+	for _, sp := range spans {
+		if sp.Name == "queue-wait" && sp.Attrs["tenant"] == "acme" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("queue-wait span lost in round trip")
+	}
+
+	if _, _, err := DecodeSnapshot([]byte(`{"version":99}` + "\n")); err == nil {
+		t.Fatal("version mismatch not rejected")
+	}
+	if _, _, err := DecodeSnapshot(nil); err == nil {
+		t.Fatal("empty payload not rejected")
+	}
+}
